@@ -1,0 +1,9 @@
+package main
+
+import (
+	"fmt"
+
+	"xlf/internal/exp"
+)
+
+func main() { fmt.Println(exp.E9Stability(1)) }

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if got := run([]string{"-bogus"}); got != 2 {
+		t.Errorf("bad flag exit = %d, want 2", got)
+	}
+	for _, args := range [][]string{
+		{},
+		{"-hardened"},
+		{"-xlf"},
+	} {
+		if got := run(args); got != 0 {
+			t.Errorf("run(%v) = %d, want 0", args, got)
+		}
+	}
+}
+
+func TestModeLabel(t *testing.T) {
+	if mode(false, false) != "vulnerable" || mode(true, false) != "hardened" || mode(true, true) != "XLF-protected" {
+		t.Error("mode labels wrong")
+	}
+}

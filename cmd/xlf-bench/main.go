@@ -1,0 +1,102 @@
+// Command xlf-bench regenerates every table and figure of the XLF paper
+// and runs the quantitative experiment suite (see DESIGN.md's
+// per-experiment index).
+//
+// Usage:
+//
+//	xlf-bench -all             # everything, report order
+//	xlf-bench -table 2         # just Table II
+//	xlf-bench -figure 4        # just Figure 4
+//	xlf-bench -exp E1          # one experiment
+//	xlf-bench -seed 7 -all     # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlf/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("xlf-bench", flag.ContinueOnError)
+	var (
+		all    = fs.Bool("all", false, "run everything")
+		list   = fs.Bool("list", false, "list available tables/figures/experiments")
+		table  = fs.Int("table", 0, "reproduce one paper table (1-3)")
+		figure = fs.Int("figure", 0, "reproduce one paper figure (1-4)")
+		expID  = fs.String("exp", "", "run one experiment (E1-E9)")
+		seed   = fs.Int64("seed", 1, "deterministic seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var results []*exp.Result
+	switch {
+	case *list:
+		fmt.Println("tables:      1 (device components)  2 (attack surface)  3 (lightweight crypto)")
+		fmt.Println("figures:     1 (layered arch)  2 (protocol stack)  3 (attack surface map)  4 (XLF design)")
+		fmt.Println("experiments: E1 cross-layer detection   E2 traffic shaping      E3 auth delegation")
+		fmt.Println("             E4 encrypted DPI           E5 behaviour DFA        E6 core learning")
+		fmt.Println("             E7 DNS privacy bridge      E8 botnet campaign      E9 long-horizon stability")
+		return 0
+	case *all:
+		results = exp.All(*seed)
+	case *table != 0:
+		switch *table {
+		case 1:
+			results = append(results, exp.Table1(*seed))
+		case 2:
+			results = append(results, exp.Table2(*seed))
+		case 3:
+			results = append(results, exp.Table3())
+		default:
+			fmt.Fprintln(os.Stderr, "xlf-bench: tables are 1-3")
+			return 2
+		}
+	case *figure != 0:
+		switch *figure {
+		case 1:
+			results = append(results, exp.Figure1())
+		case 2:
+			results = append(results, exp.Figure2())
+		case 3:
+			results = append(results, exp.Figure3())
+		case 4:
+			results = append(results, exp.Figure4())
+		default:
+			fmt.Fprintln(os.Stderr, "xlf-bench: figures are 1-4")
+			return 2
+		}
+	case *expID != "":
+		fns := map[string]func() *exp.Result{
+			"E1": func() *exp.Result { return exp.E1CrossLayer(*seed) },
+			"E2": func() *exp.Result { return exp.E2Shaping(*seed) },
+			"E3": func() *exp.Result { return exp.E3Auth(*seed) },
+			"E4": func() *exp.Result { return exp.E4DPI(*seed) },
+			"E5": func() *exp.Result { return exp.E5Behavior(*seed) },
+			"E6": func() *exp.Result { return exp.E6Learning(*seed) },
+			"E7": func() *exp.Result { return exp.E7DNS(*seed) },
+			"E8": func() *exp.Result { return exp.E8Botnet(*seed) },
+			"E9": func() *exp.Result { return exp.E9Stability(*seed) },
+		}
+		fn, ok := fns[*expID]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "xlf-bench: experiments are E1-E9")
+			return 2
+		}
+		results = append(results, fn())
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	fmt.Print(exp.Render(results))
+	return 0
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{}, 2},               // nothing selected
+		{[]string{"-list"}, 0},        // listing
+		{[]string{"-table", "9"}, 2},  // out of range
+		{[]string{"-figure", "0"}, 2}, // not selected -> usage
+		{[]string{"-figure", "9"}, 2}, // out of range
+		{[]string{"-exp", "E99"}, 2},  // unknown experiment
+		{[]string{"-bogusflag"}, 2},   // parse error
+		{[]string{"-figure", "2"}, 0}, // cheap figure renders
+		{[]string{"-table", "3"}, 0},  // cipher table measures
+		{[]string{"-exp", "E6", "-seed", "3"}, 0},
+	}
+	for _, tc := range cases {
+		if got := run(tc.args); got != tc.want {
+			t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
+		}
+	}
+}

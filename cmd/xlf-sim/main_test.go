@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunModes(t *testing.T) {
+	if got := run([]string{"-bogus"}); got != 2 {
+		t.Errorf("bad flag exit = %d, want 2", got)
+	}
+	if got := run([]string{"-minutes", "6", "-quiet"}); got != 0 {
+		t.Errorf("protected run exit = %d, want 0", got)
+	}
+	if got := run([]string{"-minutes", "6", "-unprotected"}); got != 0 {
+		t.Errorf("unprotected run exit = %d, want 0", got)
+	}
+}

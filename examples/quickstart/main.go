@@ -1,0 +1,46 @@
+// Quickstart: build an XLF-protected smart home, launch one attack, and
+// watch the cross-layer correlation catch and contain it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xlf"
+	"xlf/internal/attack"
+	"xlf/internal/service"
+)
+
+func main() {
+	// A home whose cloud platform still has the classic flaws (coarse
+	// grants, unsigned events, unverified OTA) — the world XLF defends.
+	sys, err := xlf.New(xlf.Options{
+		Seed:  1,
+		Flaws: service.Flaws{CoarseGrants: true, UnsignedEvents: true, OpenRedirectOTA: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print an alert the moment the Core raises one.
+	sys.Core.OnAlert = func(a xlf.CoreAlert) {
+		fmt.Println("ALERT:", a)
+	}
+
+	// A Mirai-style operator recruits whatever answers telnet with
+	// factory credentials (the network camera, in the default catalog).
+	res := (&attack.MiraiRecruit{
+		CNC:         "wan:cnc",
+		BeaconEvery: 10 * time.Second,
+	}).Execute(sys.Home.AttackEnv())
+	fmt.Println("attacker:", res)
+
+	// Let the simulated home run for three minutes.
+	if err := sys.Home.Run(3 * time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(sys.Report())
+}

@@ -1,0 +1,94 @@
+// Trafficprivacy: sweep gateway traffic-shaping intensity and watch the
+// Apthorpe-style passive adversary lose the ability to identify devices
+// and infer user activity — and what that privacy costs in bandwidth.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"xlf/internal/netsim"
+	"xlf/internal/shaping"
+	"xlf/internal/sim"
+)
+
+func main() {
+	fmt.Println("An ISP-side observer watches one home's encrypted WAN traffic.")
+	fmt.Println("Ground truth: a camera streams keepalives and bursts on motion")
+	fmt.Println("events at t=60s and t=150s. Can the observer see your movements?")
+	fmt.Println()
+	fmt.Printf("%-10s %-20s %-12s %-12s %-10s\n", "intensity", "mode", "identified", "events-seen", "overhead")
+
+	for _, intensity := range []float64{0, 0.3, 0.6, 0.8, 1.0} {
+		identified, recall, overhead, mode := runOnce(intensity)
+		fmt.Printf("%-10.2f %-20s %-12v %-12s %-10s\n",
+			intensity, mode, identified,
+			fmt.Sprintf("%.0f%%", recall*100),
+			fmt.Sprintf("%.0f%%", overhead*100))
+	}
+	fmt.Println()
+	fmt.Println("Rate equalisation (high intensity) hides events completely: the")
+	fmt.Println("shaper emits fixed-size cells at a fixed cadence, queueing real")
+	fmt.Println("packets and filling idle slots with dummies. Privacy costs the")
+	fmt.Println("overhead column — exactly the trade-off the paper's §IV-B1 describes.")
+}
+
+func runOnce(intensity float64) (bool, float64, float64, string) {
+	k := sim.NewKernel(42)
+	n := netsim.New(k)
+	gw := netsim.NewGateway("lan:gw", "wan:home")
+	cfg := shaping.Level(intensity)
+	sh := shaping.New(k, cfg)
+	if cfg.Mode != shaping.ModeOff {
+		gw.Shaper = sh.GatewayHook()
+	}
+	wanCap := netsim.NewCapture()
+
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(n.Attach(gw, netsim.DefaultLAN()))
+	must(n.Attach(gw.WANNode(), netsim.DefaultWAN()))
+	must(n.Attach(&netsim.FuncNode{Address: "wan:cam-cloud"}, netsim.DefaultWAN()))
+	must(n.Attach(&netsim.FuncNode{Address: "lan:cam"}, netsim.DefaultLAN()))
+	n.AddTap(netsim.TapWAN, wanCap.Tap())
+
+	// The camera's DNS query is the identification breadcrumb.
+	n.Send(&netsim.Packet{Src: "lan:gw", Dst: "wan:dns", SrcPort: 5353, DstPort: 53,
+		Proto: "DNS", Size: 80, DNSName: "cam.vendor.example", App: "dns-query"})
+
+	k.Every(2*time.Second, 500*time.Millisecond, "keepalive", func() {
+		gw.SendOut(n, &netsim.Packet{Src: "lan:cam", SrcPort: 7001, Dst: "wan:cam-cloud",
+			DstPort: 443, Proto: "TLS", Encrypted: true, Size: 400})
+	})
+	var truth []shaping.GroundTruthEvent
+	for _, at := range []time.Duration{60 * time.Second, 150 * time.Second} {
+		at := at
+		truth = append(truth, shaping.GroundTruthEvent{Time: at, DeviceType: "camera"})
+		k.Schedule(at, "motion", func() {
+			for i := 0; i < 12; i++ {
+				gw.SendOut(n, &netsim.Packet{Src: "lan:cam", SrcPort: 7001, Dst: "wan:cam-cloud",
+					DstPort: 443, Proto: "TLS", Encrypted: true, Size: 1200, App: "event:motion"})
+			}
+		})
+	}
+	if err := k.Run(4 * time.Minute); err != nil {
+		panic(err)
+	}
+
+	adv := shaping.NewAdversary(shaping.KnowledgeBase{
+		DomainType: map[string]string{"cam.vendor.example": "camera"},
+		DomainAddr: map[string]netsim.Addr{"cam.vendor.example": "wan:cam-cloud"},
+		RateBand:   map[string][2]float64{"camera": {50, 2000}},
+	})
+	identified := false
+	for _, id := range adv.IdentifyDevices(wanCap.Records()) {
+		if id.DeviceType == "camera" && id.Confidence >= 0.7 {
+			identified = true
+		}
+	}
+	_, recall := shaping.ScoreEvents(adv.InferEvents(wanCap.Records()), truth, 5*time.Second)
+	return identified, recall, sh.Stats().OverheadFraction(), cfg.Mode.String()
+}

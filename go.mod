@@ -1,0 +1,3 @@
+module xlf
+
+go 1.22

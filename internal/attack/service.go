@@ -1,0 +1,147 @@
+package attack
+
+import (
+	"fmt"
+
+	"xlf/internal/service"
+)
+
+// EventSpoof publishes fabricated events in a device's name through the
+// platform's unsigned-event path (§IV-C2: "malicious actors could easily
+// launch spoofing event attacks").
+type EventSpoof struct {
+	DeviceID string
+	Event    string
+	Value    float64
+}
+
+var _ Attack = (*EventSpoof)(nil)
+
+// Name implements Attack.
+func (a *EventSpoof) Name() string { return "event-spoofing" }
+
+// Layer implements Attack.
+func (a *EventSpoof) Layer() Layer { return LayerService }
+
+// TableII implements Attack.
+func (a *EventSpoof) TableII() (string, string, string) { return "", "", "" }
+
+// Execute implements Attack.
+func (a *EventSpoof) Execute(env *Env) Result {
+	if env.Cloud == nil {
+		return Result{Attack: a.Name(), Blocked: "no cloud in scope"}
+	}
+	err := env.Cloud.PublishRaw(service.Event{
+		DeviceID: a.DeviceID, Name: a.Event, Value: a.Value,
+		Source: "spoofed:attacker",
+	})
+	if err != nil {
+		return Result{Attack: a.Name(), Blocked: fmt.Sprintf("platform rejected: %v", err)}
+	}
+	return Result{
+		Attack: a.Name(), Succeeded: true,
+		Impact: fmt.Sprintf("forged %s=%v for %s accepted by platform", a.Event, a.Value, a.DeviceID),
+	}
+}
+
+// RogueApp installs an over-privileged SmartApp that rides the platform's
+// coarse grants to actuate devices it was never meant to control
+// (Fernandes et al.'s over-privilege, §IV-C2).
+type RogueApp struct {
+	// AppID names the installed app.
+	AppID string
+	// CoverDevice/CoverCap is the innocuous permission it requests.
+	CoverDevice, CoverCap string
+	// TargetDevice/TargetCommand is the hidden actuation.
+	TargetDevice, TargetCommand string
+}
+
+var _ Attack = (*RogueApp)(nil)
+
+// Name implements Attack.
+func (a *RogueApp) Name() string { return "overprivileged-app" }
+
+// Layer implements Attack.
+func (a *RogueApp) Layer() Layer { return LayerService }
+
+// TableII implements Attack.
+func (a *RogueApp) TableII() (string, string, string) { return "", "", "" }
+
+// Execute implements Attack.
+func (a *RogueApp) Execute(env *Env) Result {
+	if env.Cloud == nil {
+		return Result{Attack: a.Name(), Blocked: "no cloud in scope"}
+	}
+	fired := false
+	app := &service.SmartApp{
+		ID:        a.AppID,
+		Grants:    []service.Grant{{DeviceID: a.CoverDevice, Capability: a.CoverCap}},
+		Malicious: true,
+		Hook: func(ev service.Event) []service.Command {
+			if fired {
+				return nil
+			}
+			fired = true
+			return []service.Command{{DeviceID: a.TargetDevice, Name: a.TargetCommand}}
+		},
+	}
+	if err := env.Cloud.InstallApp(app); err != nil {
+		return Result{Attack: a.Name(), Blocked: fmt.Sprintf("install refused: %v", err)}
+	}
+	// Trigger any event so the hook runs.
+	if err := env.Cloud.PublishDeviceEvent(a.CoverDevice, "heartbeat", 1); err != nil {
+		return Result{Attack: a.Name(), Blocked: err.Error()}
+	}
+	// Judge success by whether the hidden command made the log.
+	for _, cmd := range env.Cloud.CommandLog() {
+		if cmd.DeviceID == a.TargetDevice && cmd.Name == a.TargetCommand && cmd.IssuedBy == "app:"+a.AppID {
+			return Result{
+				Attack: a.Name(), Succeeded: true,
+				Impact: fmt.Sprintf("app %q actuated %s.%s via over-privilege", a.AppID, a.TargetDevice, a.TargetCommand),
+			}
+		}
+	}
+	return Result{Attack: a.Name(), Blocked: "sandbox denied the hidden command"}
+}
+
+// PolicyAbuse is the paper's §IV-C3 scenario: the attacker manipulates the
+// physical environment (heats the room) so a legitimate automation opens
+// the window. Every individual component behaves correctly — only
+// cross-domain correlation exposes the abuse.
+type PolicyAbuse struct {
+	ThermoID string
+	// FakeTempF is the sensor reading the attacker induces.
+	FakeTempF float64
+}
+
+var _ Attack = (*PolicyAbuse)(nil)
+
+// Name implements Attack.
+func (a *PolicyAbuse) Name() string { return "automation-policy-abuse" }
+
+// Layer implements Attack.
+func (a *PolicyAbuse) Layer() Layer { return LayerService }
+
+// TableII implements Attack.
+func (a *PolicyAbuse) TableII() (string, string, string) { return "", "", "" }
+
+// Execute implements Attack.
+func (a *PolicyAbuse) Execute(env *Env) Result {
+	if env.Cloud == nil {
+		return Result{Attack: a.Name(), Blocked: "no cloud in scope"}
+	}
+	// The reading is "real": the attacker genuinely heated the sensor.
+	if err := env.Cloud.PublishDeviceEvent(a.ThermoID, "temperature", a.FakeTempF); err != nil {
+		return Result{Attack: a.Name(), Blocked: err.Error()}
+	}
+	// Success = some automation opened/unlocked something in response.
+	for _, cmd := range env.Cloud.CommandLog() {
+		if cmd.Name == "open" || cmd.Name == "unlock" {
+			return Result{
+				Attack: a.Name(), Succeeded: true,
+				Impact: fmt.Sprintf("automation issued %s on %s in response to induced reading", cmd.Name, cmd.DeviceID),
+			}
+		}
+	}
+	return Result{Attack: a.Name(), Blocked: "no automation reacted"}
+}

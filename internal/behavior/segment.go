@@ -1,0 +1,78 @@
+package behavior
+
+import (
+	"time"
+
+	"xlf/internal/netsim"
+)
+
+// Burst segmentation: HoMonit's first step turns a packet capture into
+// per-event fingerprint sequences by grouping packets of one device that
+// are close in time (an "event" is a burst of wireless frames). This file
+// bridges netsim captures into the Library/Monitor pipeline.
+
+// Burst is one contiguous packet group attributed to a device.
+type Burst struct {
+	Device netsim.Addr
+	Start  time.Duration
+	End    time.Duration
+	// Seq is the quantized packet-size sequence (the fingerprint shape).
+	Seq []int
+}
+
+// Segment groups a capture into bursts per source device: a gap larger
+// than maxGap closes the current burst. Records are assumed
+// time-ordered (netsim captures are). Dummy-looking infrastructure
+// traffic is the caller's concern — pass pre-filtered records.
+func Segment(records []netsim.PacketRecord, maxGap time.Duration) []Burst {
+	open := make(map[netsim.Addr]*Burst)
+	var order []netsim.Addr // deterministic close order
+	var out []Burst
+
+	flush := func(a netsim.Addr) {
+		if b := open[a]; b != nil {
+			out = append(out, *b)
+			delete(open, a)
+		}
+	}
+
+	for _, r := range records {
+		b := open[r.Src]
+		if b != nil && r.Time-b.End > maxGap {
+			flush(r.Src)
+			b = nil
+		}
+		if b == nil {
+			open[r.Src] = &Burst{Device: r.Src, Start: r.Time, End: r.Time}
+			order = append(order, r.Src)
+			b = open[r.Src]
+		}
+		b.End = r.Time
+		b.Seq = append(b.Seq, Quantize(r.Size))
+	}
+	for _, a := range order {
+		flush(a)
+	}
+	return out
+}
+
+// ClassifyBursts runs every burst through the fingerprint library,
+// returning recovered (device, event) observations; unknown bursts carry
+// ok=false with their best distance.
+type BurstEvent struct {
+	Device   netsim.Addr
+	Time     time.Duration
+	Event    string
+	Distance int
+	OK       bool
+}
+
+// ClassifyBursts maps bursts to events via the library.
+func ClassifyBursts(bursts []Burst, lib *Library) []BurstEvent {
+	out := make([]BurstEvent, 0, len(bursts))
+	for _, b := range bursts {
+		ev, d, ok := lib.Classify(b.Seq)
+		out = append(out, BurstEvent{Device: b.Device, Time: b.Start, Event: ev, Distance: d, OK: ok})
+	}
+	return out
+}

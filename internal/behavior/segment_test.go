@@ -1,0 +1,99 @@
+package behavior
+
+import (
+	"testing"
+	"time"
+
+	"xlf/internal/netsim"
+)
+
+func rec(t time.Duration, src netsim.Addr, size int) netsim.PacketRecord {
+	return netsim.PacketRecord{Time: t, Src: src, Size: size}
+}
+
+func TestSegmentSplitsOnGap(t *testing.T) {
+	recs := []netsim.PacketRecord{
+		rec(0, "lan:bulb", 64),
+		rec(100*time.Millisecond, "lan:bulb", 128),
+		rec(200*time.Millisecond, "lan:bulb", 64),
+		// 5s gap: new burst.
+		rec(5200*time.Millisecond, "lan:bulb", 256),
+		rec(5300*time.Millisecond, "lan:bulb", 256),
+	}
+	bursts := Segment(recs, time.Second)
+	if len(bursts) != 2 {
+		t.Fatalf("bursts = %d, want 2", len(bursts))
+	}
+	if len(bursts[0].Seq) != 3 || len(bursts[1].Seq) != 2 {
+		t.Errorf("burst sizes = %d/%d", len(bursts[0].Seq), len(bursts[1].Seq))
+	}
+	if bursts[0].Start != 0 || bursts[0].End != 200*time.Millisecond {
+		t.Errorf("burst 0 span = %s..%s", bursts[0].Start, bursts[0].End)
+	}
+}
+
+func TestSegmentInterleavedDevices(t *testing.T) {
+	recs := []netsim.PacketRecord{
+		rec(0, "lan:a", 64),
+		rec(50*time.Millisecond, "lan:b", 512),
+		rec(100*time.Millisecond, "lan:a", 64),
+		rec(150*time.Millisecond, "lan:b", 512),
+	}
+	bursts := Segment(recs, time.Second)
+	if len(bursts) != 2 {
+		t.Fatalf("bursts = %d, want 2 (one per device)", len(bursts))
+	}
+	for _, b := range bursts {
+		if len(b.Seq) != 2 {
+			t.Errorf("device %s burst len = %d, want 2", b.Device, len(b.Seq))
+		}
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	if got := Segment(nil, time.Second); len(got) != 0 {
+		t.Errorf("empty capture produced %d bursts", len(got))
+	}
+}
+
+func TestClassifyBurstsPipeline(t *testing.T) {
+	// Fingerprints in quantized units: "on" is three small frames, and
+	// "motion" is a pair of large ones.
+	lib, err := NewLibrary([]Fingerprint{
+		{Event: "on", Seq: []int{Quantize(64), Quantize(128), Quantize(64)}},
+		{Event: "motion", Seq: []int{Quantize(1200), Quantize(1200)}},
+	}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []netsim.PacketRecord{
+		rec(0, "lan:bulb", 64),
+		rec(100*time.Millisecond, "lan:bulb", 128),
+		rec(200*time.Millisecond, "lan:bulb", 64),
+		rec(10*time.Second, "lan:cam", 1200),
+		rec(10100*time.Millisecond, "lan:cam", 1200),
+		// Garbage burst that matches nothing.
+		rec(20*time.Second, "lan:weird", 5000),
+		rec(20100*time.Millisecond, "lan:weird", 5000),
+		rec(20200*time.Millisecond, "lan:weird", 5000),
+		rec(20300*time.Millisecond, "lan:weird", 5000),
+		rec(20400*time.Millisecond, "lan:weird", 5000),
+	}
+	events := ClassifyBursts(Segment(recs, time.Second), lib)
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	byDev := map[netsim.Addr]BurstEvent{}
+	for _, e := range events {
+		byDev[e.Device] = e
+	}
+	if e := byDev["lan:bulb"]; !e.OK || e.Event != "on" {
+		t.Errorf("bulb burst = %+v", e)
+	}
+	if e := byDev["lan:cam"]; !e.OK || e.Event != "motion" {
+		t.Errorf("cam burst = %+v", e)
+	}
+	if e := byDev["lan:weird"]; e.OK {
+		t.Errorf("garbage burst classified: %+v", e)
+	}
+}

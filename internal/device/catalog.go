@@ -1,0 +1,324 @@
+package device
+
+import "fmt"
+
+// This file provides the canonical smart-home device builds used by the
+// testbed and by the Table II attack scenarios. Each build pairs a Table I
+// hardware profile with firmware, credentials, ports, cloud endpoints and
+// a ground-truth behaviour automaton.
+
+func mustBehavior(initial State, trs []Transition) *Behavior {
+	b, err := NewBehavior(initial, trs)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NewSmartBulb builds the Table II "smart light bulb": static default
+// password, cleartext LAN control port.
+func NewSmartBulb(id string) *Device {
+	p, err := ProfileByName("Philips Hue Lightbulb")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("switch", "level"),
+		WithCreds(Credentials{User: "admin", Password: "admin", Default: true}),
+		WithPorts(Port{Number: 80, Service: "http", Cleartext: true}),
+		WithFirmware(NewFirmware("1.9.0", []byte("hue-fw-1.9.0"), true)),
+		WithCloudDomains("bridge.philips-hue.example"),
+		WithBehavior(mustBehavior("off", []Transition{
+			{From: "off", Event: "on", To: "on"},
+			{From: "on", Event: "off", To: "off"},
+			{From: "on", Event: "dim", To: "dimmed"},
+			{From: "dimmed", Event: "on", To: "on"},
+			{From: "dimmed", Event: "off", To: "off"},
+		})),
+	)
+}
+
+// NewWallPad builds the Table II "wall pad" (home control panel) with a
+// firmware that has a buffer-overflow-prone command parser.
+func NewWallPad(id string) *Device {
+	p, err := ProfileByName("Sensor Devices")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("panel", "intercom"),
+		WithCreds(Credentials{User: "installer", Password: "0000", Default: true}),
+		WithPorts(Port{Number: 5000, Service: "control", Cleartext: true}),
+		WithFirmware(NewFirmware("2.1.3", []byte("wallpad-fw-2.1.3"), false)),
+		WithCloudDomains("panel.homebuilder.example"),
+		WithBehavior(mustBehavior("idle", []Transition{
+			{From: "idle", Event: "unlock", To: "unlocked"},
+			{From: "unlocked", Event: "lock", To: "idle"},
+			{From: "idle", Event: "call", To: "calling"},
+			{From: "calling", Event: "hangup", To: "idle"},
+		})),
+	)
+}
+
+// NewNetworkCamera builds the Table II "network camera" whose firmware
+// update path does not verify integrity.
+func NewNetworkCamera(id string) *Device {
+	p, err := ProfileByName("Samsung Smart Cam")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("camera", "motion"),
+		WithCreds(Credentials{User: "admin", Password: "1234", Default: true}),
+		WithPorts(
+			Port{Number: 554, Service: "rtsp", Cleartext: true},
+			Port{Number: 23, Service: "telnet", Cleartext: true},
+		),
+		WithFirmware(NewFirmware("3.0.1", []byte("cam-fw-3.0.1"), false)),
+		WithCloudDomains("stream.smartcam.example", "dropcam.example"),
+		WithBehavior(mustBehavior("monitoring", []Transition{
+			{From: "monitoring", Event: "motion", To: "recording"},
+			{From: "recording", Event: "clear", To: "monitoring"},
+			{From: "monitoring", Event: "disable", To: "off"},
+			{From: "off", Event: "enable", To: "monitoring"},
+		})),
+	)
+}
+
+// NewChromecast builds the Table II "Chromecast" vulnerable to
+// deauth-and-reconnect ("rickrolling").
+func NewChromecast(id string) *Device {
+	p, err := ProfileByName("Google Chromecast")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("mediaPlayer"),
+		WithCreds(Credentials{}), // no admin login at all
+		WithPorts(Port{Number: 8008, Service: "cast", Cleartext: true}),
+		WithFirmware(NewFirmware("1.36", []byte("cast-fw-1.36"), true)),
+		WithCloudDomains("cast.google.example"),
+		WithBehavior(mustBehavior("idle", []Transition{
+			{From: "idle", Event: "cast", To: "playing"},
+			{From: "playing", Event: "stop", To: "idle"},
+			{From: "playing", Event: "cast", To: "playing"},
+		})),
+	)
+}
+
+// NewCoffeeMachine builds the Table II "coffee machine" that provisions
+// WiFi over an unprotected UPnP channel.
+func NewCoffeeMachine(id string) *Device {
+	p, err := ProfileByName("Sensor Devices")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("switch", "brew"),
+		WithCreds(Credentials{User: "user", Password: "user", Default: true}),
+		WithPorts(Port{Number: 1900, Service: "upnp", Cleartext: true}),
+		WithFirmware(NewFirmware("0.9.2", []byte("coffee-fw-0.9.2"), false)),
+		WithCloudDomains("brew.kitchen.example"),
+		WithBehavior(mustBehavior("idle", []Transition{
+			{From: "idle", Event: "brew", To: "brewing"},
+			{From: "brewing", Event: "done", To: "idle"},
+		})),
+	)
+}
+
+// NewFridge builds the Table II "fridge" with generic authentication that
+// can be infected to send spam mail.
+func NewFridge(id string) *Device {
+	p, err := ProfileByName("Samsung Smart TV") // appliance-grade SoC
+	if err != nil {
+		panic(err)
+	}
+	d := New(id, p,
+		WithCaps("thermostat", "display"),
+		WithCreds(Credentials{User: "admin", Password: "password", Default: true}),
+		WithPorts(
+			Port{Number: 80, Service: "http", Cleartext: true},
+			Port{Number: 25, Service: "smtp", Cleartext: true},
+		),
+		WithFirmware(NewFirmware("4.2", []byte("fridge-fw-4.2"), true)),
+		WithCloudDomains("food.fridge.example"),
+		WithBehavior(mustBehavior("cooling", []Transition{
+			{From: "cooling", Event: "door_open", To: "open"},
+			{From: "open", Event: "door_close", To: "cooling"},
+			{From: "cooling", Event: "defrost", To: "defrosting"},
+			{From: "defrosting", Event: "done", To: "cooling"},
+		})),
+	)
+	d.Profile.Name = "Smart Fridge"
+	return d
+}
+
+// NewOven builds the Table II "oven" on an open WiFi network.
+func NewOven(id string) *Device {
+	p, err := ProfileByName("Dacor Android Oven")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("oven", "thermostat"),
+		WithCreds(Credentials{User: "chef", Password: "cook", Default: true}),
+		WithPorts(Port{Number: 80, Service: "http", Cleartext: true}),
+		WithFirmware(NewFirmware("1.1", []byte("oven-fw-1.1"), false)),
+		WithCloudDomains("recipes.oven.example"),
+		WithBehavior(mustBehavior("off", []Transition{
+			{From: "off", Event: "preheat", To: "preheating"},
+			{From: "preheating", Event: "ready", To: "hot"},
+			{From: "hot", Event: "off", To: "off"},
+			{From: "preheating", Event: "off", To: "off"},
+		})),
+	)
+}
+
+// NewThermostat builds a thermostat for automation scenarios (the §IV-C3
+// temperature/window policy example).
+func NewThermostat(id string) *Device {
+	p, err := ProfileByName("Nest Learning Thermostat")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("thermostat", "temperature"),
+		WithCreds(Credentials{User: "owner", Password: "correct-horse", Default: false}),
+		WithPorts(Port{Number: 443, Service: "https", Cleartext: false}),
+		WithFirmware(NewFirmware("5.9.3", []byte("nest-fw-5.9.3"), true)),
+		WithCloudDomains("api.nest.example"),
+		WithBehavior(mustBehavior("idle", []Transition{
+			{From: "idle", Event: "heat", To: "heating"},
+			{From: "heating", Event: "target_reached", To: "idle"},
+			{From: "idle", Event: "cool", To: "cooling"},
+			{From: "cooling", Event: "target_reached", To: "idle"},
+		})),
+	)
+}
+
+// NewWindowLock builds the smart window lock paired with the thermostat in
+// the §IV-C3 automation-abuse scenario.
+func NewWindowLock(id string) *Device {
+	p, err := ProfileByName("Sensor Devices")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("lock", "contact"),
+		WithCreds(Credentials{User: "owner", Password: "window-pass", Default: false}),
+		WithPorts(),
+		WithFirmware(NewFirmware("1.0", []byte("lock-fw-1.0"), true)),
+		WithCloudDomains("locks.example"),
+		WithBehavior(mustBehavior("locked", []Transition{
+			{From: "locked", Event: "unlock", To: "unlocked"},
+			{From: "unlocked", Event: "lock", To: "locked"},
+			{From: "unlocked", Event: "open", To: "open"},
+			{From: "open", Event: "close", To: "unlocked"},
+		})),
+	)
+}
+
+// NewSmokeDetector builds a battery sensor used in detection scenarios.
+func NewSmokeDetector(id string) *Device {
+	p, err := ProfileByName("Nest Smoke Detector")
+	if err != nil {
+		panic(err)
+	}
+	return New(id, p,
+		WithCaps("smoke", "battery"),
+		WithCreds(Credentials{User: "owner", Password: "smoke-pass", Default: false}),
+		WithFirmware(NewFirmware("3.1", []byte("smoke-fw-3.1"), true)),
+		WithCloudDomains("api.nest.example"),
+		WithBehavior(mustBehavior("clear", []Transition{
+			{From: "clear", Event: "smoke", To: "alarm"},
+			{From: "alarm", Event: "clear", To: "clear"},
+			{From: "clear", Event: "test", To: "testing"},
+			{From: "testing", Event: "clear", To: "clear"},
+		})),
+	)
+}
+
+// NewSmartSpeaker builds an Amazon-Echo-like voice assistant: no
+// automation program dictates its behaviour, so there is no ground-truth
+// DFA — XLF instead learns its activity pattern from typical traces
+// (§IV-B3: "even for devices without automation programs, such as Amazon
+// Echo, their activity patterns should still be predictable").
+func NewSmartSpeaker(id string) *Device {
+	p, err := ProfileByName("Google Chromecast") // same SoC class
+	if err != nil {
+		panic(err)
+	}
+	d := New(id, p,
+		WithCaps("speaker", "voice"),
+		WithCreds(Credentials{User: "owner", Password: "speaker-pass", Default: false}),
+		WithPorts(Port{Number: 443, Service: "https", Cleartext: false}),
+		WithFirmware(NewFirmware("2.4", []byte("speaker-fw-2.4"), true)),
+		WithCloudDomains("voice.assistant.example"),
+		WithTypicalTraces(
+			[]string{"wake", "query", "response", "idle"},
+			[]string{"wake", "query", "response", "play", "stop", "idle"},
+			[]string{"wake", "timer", "idle", "alarm", "stop", "idle"},
+		),
+	)
+	d.Profile.Name = "Smart Speaker"
+	return d
+}
+
+// Catalog returns one of each canonical build, for tests and the
+// quickstart example.
+func Catalog() []*Device {
+	return []*Device{
+		NewSmartBulb("bulb-1"),
+		NewWallPad("wallpad-1"),
+		NewNetworkCamera("cam-1"),
+		NewChromecast("cast-1"),
+		NewCoffeeMachine("coffee-1"),
+		NewFridge("fridge-1"),
+		NewOven("oven-1"),
+		NewThermostat("thermo-1"),
+		NewWindowLock("window-1"),
+		NewSmokeDetector("smoke-1"),
+		NewSmartSpeaker("speaker-1"),
+	}
+}
+
+// FormatTable1 renders the paper's Table I rows plus the derived device
+// class — the textual regeneration used by cmd/xlf-bench.
+func FormatTable1() string {
+	out := "Table I: device-layer components of a typical home network\n"
+	out += fmt.Sprintf("%-34s %-26s %-10s %-10s %-10s %-10s %s\n",
+		"Device Type", "Chipset", "CoreFreq", "RAM", "Flash", "Power", "Class")
+	for _, p := range Table1() {
+		out += fmt.Sprintf("%-34s %-26s %-10s %-10s %-10s %-10s %s\n",
+			p.Name, p.Chipset, hz(p.CoreHz), bytesStr(p.RAMBytes), bytesStr(p.FlashBytes), p.Power, p.DeviceClass())
+	}
+	return out
+}
+
+func hz(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2gGHz", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gMHz", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gkHz", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fHz", v)
+	}
+}
+
+func bytesStr(v int64) string {
+	switch {
+	case v == 0:
+		return "NA"
+	case v >= 1<<30:
+		return fmt.Sprintf("%dGB", v>>30)
+	case v >= 1<<20:
+		return fmt.Sprintf("%dMB", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dKB", v>>10)
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}

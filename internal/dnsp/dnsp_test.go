@@ -1,0 +1,191 @@
+package dnsp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"xlf/internal/lwc"
+	"xlf/internal/netsim"
+	"xlf/internal/sim"
+)
+
+func testCodec(t *testing.T) *Codec {
+	t.Helper()
+	blk, err := lwc.NewPRESENT(bytes.Repeat([]byte{3}, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCodec(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := testCodec(t)
+	for _, name := range []string{"api.nest.example", "a", "", "very.long.subdomain.vendor.example.with.many.labels"} {
+		sealed, err := c.Seal(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Open(sealed)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		if got != name {
+			t.Errorf("roundtrip = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestCodecConfidentiality(t *testing.T) {
+	c := testCodec(t)
+	sealed, _ := c.Seal("secret.vendor.example")
+	if bytes.Contains(sealed, []byte("secret")) || bytes.Contains(sealed, []byte("vendor")) {
+		t.Error("sealed message leaks plaintext")
+	}
+	// Same name sealed twice yields different ciphertexts (fresh nonce).
+	s2, _ := c.Seal("secret.vendor.example")
+	if bytes.Equal(sealed, s2) {
+		t.Error("nonce reuse: identical ciphertexts")
+	}
+}
+
+func TestCodecTamperDetection(t *testing.T) {
+	c := testCodec(t)
+	sealed, _ := c.Seal("fw.vendor.example")
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x01
+		if _, err := c.Open(mut); err == nil {
+			t.Fatalf("bit-flip at %d accepted", i)
+		}
+	}
+	if _, err := c.Open([]byte{1, 2, 3}); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short message err = %v", err)
+	}
+}
+
+func TestCodecRejectsTinyBlocks(t *testing.T) {
+	hb, err := lwc.NewHummingbird2(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodec(hb); err == nil {
+		t.Error("16-bit block accepted")
+	}
+}
+
+// bridgeFixture wires device stub -> bridge -> DoT resolver -> DNS server.
+type bridgeFixture struct {
+	kernel *sim.Kernel
+	net    *netsim.Network
+	stub   *Stub
+	bridge *Bridge
+	lanCap *netsim.Capture
+	wanCap *netsim.Capture
+}
+
+func buildBridge(t *testing.T) *bridgeFixture {
+	t.Helper()
+	k := sim.NewKernel(77)
+	n := netsim.New(k)
+	f := &bridgeFixture{kernel: k, net: n, lanCap: netsim.NewCapture(), wanCap: netsim.NewCapture()}
+
+	srv := netsim.NewDNSServer("wan:dns", []netsim.DNSRecord{
+		{Name: "api.nest.example", Addr: "wan:nest", TTL: time.Minute},
+	})
+	res := netsim.NewResolver("lan:resolver", "wan:dns", "DoT")
+
+	blk, err := lwc.NewPRESENT(bytes.Repeat([]byte{3}, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewCodec(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.bridge = NewBridge("lan:dnsbridge", codec, res)
+	f.stub = NewStub("lan:thermo", "lan:dnsbridge", codec)
+
+	dev := &netsim.FuncNode{Address: "lan:thermo", Fn: func(_ *netsim.Network, pkt *netsim.Packet) {
+		f.stub.HandleResponse(pkt)
+	}}
+
+	for _, node := range []netsim.Node{srv, res, f.bridge, dev} {
+		link := netsim.DefaultLAN()
+		if node.Addr() == "wan:dns" {
+			link = netsim.DefaultWAN()
+		}
+		if err := n.Attach(node, link); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.AddTap(netsim.TapLAN, f.lanCap.Tap())
+	n.AddTap(netsim.TapWAN, f.wanCap.Tap())
+	return f
+}
+
+func TestBridgeEndToEnd(t *testing.T) {
+	f := buildBridge(t)
+	var got netsim.Addr
+	var gotErr error
+	if err := f.stub.Query(f.net, "api.nest.example", func(a netsim.Addr, err error) { got, gotErr = a, err }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.kernel.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if got != "wan:nest" {
+		t.Errorf("resolved %q, want wan:nest", got)
+	}
+	served, tampered := f.bridge.Stats()
+	if served != 1 || tampered != 0 {
+		t.Errorf("bridge stats = %d/%d", served, tampered)
+	}
+}
+
+func TestBridgeHidesNamesFromObservers(t *testing.T) {
+	f := buildBridge(t)
+	f.stub.Query(f.net, "api.nest.example", func(netsim.Addr, error) {})
+	f.kernel.Run(5 * time.Second)
+	for _, r := range append(f.lanCap.Records(), f.wanCap.Records()...) {
+		if r.DNSName != "" {
+			t.Errorf("observer saw DNS name %q on %s->%s proto=%s", r.DNSName, r.Src, r.Dst, r.Proto)
+		}
+	}
+}
+
+func TestBridgeNXDomain(t *testing.T) {
+	f := buildBridge(t)
+	var gotErr error
+	f.stub.Query(f.net, "ghost.example", func(a netsim.Addr, err error) { gotErr = err })
+	f.kernel.Run(5 * time.Second)
+	if gotErr == nil {
+		t.Error("NXDOMAIN not propagated through the bridge")
+	}
+}
+
+func TestBridgeRejectsTamperedQueries(t *testing.T) {
+	f := buildBridge(t)
+	// An on-LAN attacker replays a mangled sealed query.
+	blk, _ := lwc.NewPRESENT(bytes.Repeat([]byte{3}, 10))
+	otherCodec, _ := NewCodec(blk)
+	sealed, _ := otherCodec.Seal("api.nest.example")
+	sealed[10] ^= 0xFF
+	f.net.Send(&netsim.Packet{
+		Src: "lan:attacker", Dst: "lan:dnsbridge", SrcPort: 4444, DstPort: 8853,
+		Proto: "XLF-DNS", Size: 60, Encrypted: true, Payload: sealed,
+	})
+	f.kernel.Run(5 * time.Second)
+	_, tampered := f.bridge.Stats()
+	if tampered != 1 {
+		t.Errorf("tampered = %d, want 1", tampered)
+	}
+}

@@ -1,0 +1,67 @@
+package dnsp
+
+import (
+	"bytes"
+	"testing"
+
+	"xlf/internal/lwc"
+)
+
+// FuzzCodecOpen hammers the lightweight DNS codec's parser: no input may
+// panic, and any input that Opens successfully must have a valid tag
+// (forgery resistance is probabilistic, but structural crashes are not
+// acceptable).
+func FuzzCodecOpen(f *testing.F) {
+	blk, err := lwc.NewPRESENT(bytes.Repeat([]byte{3}, 10))
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := NewCodec(blk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sealed, err := codec.Seal("api.nest.example")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sealed)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		name, err := codec.Open(msg)
+		if err == nil && len(name) > len(msg) {
+			t.Fatalf("opened name longer than message: %d > %d", len(name), len(msg))
+		}
+	})
+}
+
+// FuzzSealOpenRoundTrip: any name seals and opens back identically.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	blk, err := lwc.NewPRESENT(bytes.Repeat([]byte{5}, 10))
+	if err != nil {
+		f.Fatal(err)
+	}
+	codec, err := NewCodec(blk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("api.nest.example")
+	f.Add("")
+	f.Add("\x00\xff weird.bytes\n")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		sealed, err := codec.Seal(name)
+		if err != nil {
+			t.Fatalf("Seal(%q): %v", name, err)
+		}
+		got, err := codec.Open(sealed)
+		if err != nil {
+			t.Fatalf("Open after Seal(%q): %v", name, err)
+		}
+		if got != name {
+			t.Fatalf("roundtrip = %q, want %q", got, name)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package dpi
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlindBox-style searchable encryption (Sherry et al., SIGCOMM 2015,
+// adapted): the sending endpoint encrypts the payload end-to-end AND emits
+// deterministic per-window tokens keyed with a session key that the XLF
+// Core obtains over a separate secure connection with the service layer
+// (§IV-B2). The middlebox matches rule tokens against payload tokens
+// without ever seeing plaintext.
+
+// TokenWindow is the sliding-window width in bytes. Keywords must be at
+// least this long.
+const TokenWindow = 4
+
+// Tokenizer derives payload and rule tokens from a session key.
+type Tokenizer struct {
+	key []byte
+}
+
+// NewTokenizer creates a tokenizer for a session key.
+func NewTokenizer(key []byte) (*Tokenizer, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("dpi: empty tokenizer key")
+	}
+	return &Tokenizer{key: append([]byte(nil), key...)}, nil
+}
+
+// token computes the deterministic token of one window.
+func (t *Tokenizer) token(window []byte) uint64 {
+	m := hmac.New(sha256.New, t.key)
+	m.Write(window)
+	return binary.BigEndian.Uint64(m.Sum(nil))
+}
+
+// Tokenize produces one token per TokenWindow-byte sliding window
+// (stride 1). Payloads shorter than the window produce no tokens.
+func (t *Tokenizer) Tokenize(payload []byte) []uint64 {
+	if len(payload) < TokenWindow {
+		return nil
+	}
+	out := make([]uint64, 0, len(payload)-TokenWindow+1)
+	for i := 0; i+TokenWindow <= len(payload); i++ {
+		out = append(out, t.token(payload[i:i+TokenWindow]))
+	}
+	return out
+}
+
+// ruleTokens is a compiled keyword: the token sequence of its windows.
+type ruleTokens struct {
+	rule    int
+	keyword int
+	offset  int // -1 = anywhere
+	tokens  []uint64
+}
+
+// EncryptedDetector matches a rule set over tokenized (encrypted) traffic.
+type EncryptedDetector struct {
+	rs       *RuleSet
+	compiled []ruleTokens
+}
+
+// NewEncryptedDetector compiles a rule set's keywords into token sequences
+// under the session key.
+func NewEncryptedDetector(rs *RuleSet, tk *Tokenizer) (*EncryptedDetector, error) {
+	if len(rs.rules) == 0 {
+		return nil, ErrNoRules
+	}
+	d := &EncryptedDetector{rs: rs}
+	for ri, r := range rs.rules {
+		for ki, k := range r.Keywords {
+			d.compiled = append(d.compiled, ruleTokens{
+				rule: ri, keyword: ki, offset: k.Offset,
+				tokens: tk.Tokenize(k.Pattern),
+			})
+		}
+	}
+	return d, nil
+}
+
+// MatchTokens evaluates the rules against a payload's token stream. A
+// keyword matches when its token sequence appears contiguously (and at its
+// anchor, if any); a rule fires when all its keywords match.
+func (d *EncryptedDetector) MatchTokens(tokens []uint64) []Detection {
+	type owner = [2]int
+	matched := make(map[owner]int)
+	for _, ct := range d.compiled {
+		pos := findSeq(tokens, ct.tokens, ct.offset)
+		if pos >= 0 {
+			matched[owner{ct.rule, ct.keyword}] = pos + len(ct.tokens) + TokenWindow - 1
+		}
+	}
+	var out []Detection
+	for ri, r := range d.rs.rules {
+		offsets := make([]int, len(r.Keywords))
+		all := true
+		for ki := range r.Keywords {
+			end, ok := matched[owner{ri, ki}]
+			if !ok {
+				all = false
+				break
+			}
+			offsets[ki] = end
+		}
+		if all {
+			out = append(out, Detection{Rule: r, Offsets: offsets})
+		}
+	}
+	return out
+}
+
+// findSeq locates needle as a contiguous subsequence of haystack. With
+// offset >= 0 only that position is checked; otherwise the first
+// occurrence is returned. Returns -1 when absent.
+func findSeq(haystack, needle []uint64, offset int) int {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return -1
+	}
+	check := func(at int) bool {
+		for j, v := range needle {
+			if haystack[at+j] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if offset >= 0 {
+		if offset+len(needle) <= len(haystack) && check(offset) {
+			return offset
+		}
+		return -1
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if check(i) {
+			return i
+		}
+	}
+	return -1
+}

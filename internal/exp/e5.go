@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xlf/internal/behavior"
+	"xlf/internal/device"
+	"xlf/internal/metrics"
+)
+
+// E5Behavior evaluates the HoMonit-style pipeline end to end: packet-size
+// fingerprints classified under increasing radio noise, recovered events
+// fed through the per-device DFA, and spoof-detection F1 as the outcome.
+// The edit-distance threshold is swept as the ablation DESIGN.md calls
+// out.
+func E5Behavior(seed int64) *Result {
+	r := &Result{ID: "E5", Title: "Behaviour DFA: spoof detection under fingerprint noise"}
+
+	prints := []behavior.Fingerprint{
+		{Event: "on", Seq: []int{2, 4, 2, 6, 2}},
+		{Event: "off", Seq: []int{2, 4, 1, 1, 2}},
+		{Event: "dim", Seq: []int{3, 4, 2, 5, 1}},
+		{Event: "motion", Seq: []int{8, 8, 16, 4, 8}},
+		{Event: "clear", Seq: []int{8, 2, 2, 4, 1}},
+	}
+
+	t := metrics.NewTable("", "Noise", "Threshold%", "ClassifyAcc", "SpoofPrec", "SpoofRecall", "SpoofF1")
+	for _, noise := range []float64{0, 0.1, 0.2, 0.35} {
+		for _, thr := range []int{20, 40, 60} {
+			acc, conf := runE5(seed, prints, noise, thr)
+			t.AddRow(
+				fmt.Sprintf("%.2f", noise), fmt.Sprint(thr),
+				fmt.Sprintf("%.3f", acc),
+				fmt.Sprintf("%.3f", conf.Precision()),
+				fmt.Sprintf("%.3f", conf.Recall()),
+				fmt.Sprintf("%.3f", conf.F1()),
+			)
+			if thr == 40 {
+				r.num(fmt.Sprintf("f1_noise_%.2f", noise), conf.F1())
+				r.num(fmt.Sprintf("acc_noise_%.2f", noise), acc)
+			}
+		}
+	}
+	r.Output = t.String() +
+		"\nSpoofs are event injections illegal in the bulb/camera DFA state; noise\n" +
+		"mutates each fingerprint element with the given probability.\n"
+	return r
+}
+
+func runE5(seed int64, prints []behavior.Fingerprint, noise float64, thresholdPct int) (float64, metrics.Confusion) {
+	lib, err := behavior.NewLibrary(prints, thresholdPct, true)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	bulb := device.NewSmartBulb("bulb")
+	cam := device.NewNetworkCamera("cam")
+	monBulb, err := behavior.NewMonitor("bulb", bulb.Behavior)
+	if err != nil {
+		panic(err)
+	}
+	monCam, err := behavior.NewMonitor("cam", cam.Behavior)
+	if err != nil {
+		panic(err)
+	}
+
+	// Legal traces interleaved with injected spoofs (events illegal in the
+	// current state).
+	bulbTrace := []string{"on", "dim", "off", "on", "off", "on", "dim", "off"}
+	camTrace := []string{"motion", "clear", "motion", "clear"}
+
+	type obs struct {
+		mon   *behavior.Monitor
+		event string
+		spoof bool
+	}
+	var seq []obs
+	bi, ci := 0, 0
+	for bi < len(bulbTrace) || ci < len(camTrace) {
+		if bi < len(bulbTrace) {
+			seq = append(seq, obs{monBulb, bulbTrace[bi], false})
+			bi++
+		}
+		if ci < len(camTrace) {
+			seq = append(seq, obs{monCam, camTrace[ci], false})
+			ci++
+		}
+		// Periodic spoof injections: "dim" while bulb off, "clear" while
+		// camera monitoring.
+		if bi == 3 {
+			seq = append(seq, obs{monBulb, "dim", true})
+		}
+		if ci == 2 {
+			seq = append(seq, obs{monCam, "clear", true})
+		}
+	}
+
+	correctClassify, totalClassify := 0, 0
+	var conf metrics.Confusion
+	byEvent := make(map[string][]int)
+	for _, p := range prints {
+		byEvent[p.Event] = p.Seq
+	}
+	for _, o := range seq {
+		// Render the event as a (possibly noisy) fingerprint sequence.
+		base, ok := byEvent[o.event]
+		if !ok {
+			continue
+		}
+		fp := append([]int(nil), base...)
+		for i := range fp {
+			if rng.Float64() < noise {
+				fp[i] += rng.Intn(5) - 2
+				if fp[i] < 0 {
+					fp[i] = 0
+				}
+			}
+		}
+		got, dist, ok := lib.Classify(fp)
+		totalClassify++
+		if ok && got == o.event {
+			correctClassify++
+		}
+		var flagged bool
+		if !ok {
+			d := o.mon.ObserveUnknown(dist)
+			flagged = d != nil
+		} else {
+			flagged = o.mon.Observe(got) != nil
+		}
+		conf.Record(flagged, o.spoof)
+	}
+	acc := 0.0
+	if totalClassify > 0 {
+		acc = float64(correctClassify) / float64(totalClassify)
+	}
+	return acc, conf
+}

@@ -1,0 +1,18 @@
+package lwc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+)
+
+// newAES wraps the standard library AES implementation so that AES appears
+// in the Table III registry alongside the lightweight designs. AES is the
+// conventional baseline the table compares the lightweight ciphers against.
+func newAES(key []byte) (cipher.Block, error) {
+	switch len(key) {
+	case 16, 24, 32:
+		return aes.NewCipher(key)
+	default:
+		return nil, KeySizeError{Algorithm: "AES", Len: len(key)}
+	}
+}

@@ -1,0 +1,167 @@
+package lwc
+
+import (
+	"crypto/cipher"
+	"math/bits"
+)
+
+// HIGHT (Hong et al., CHES 2006) is a 64-bit block cipher with a 128-bit
+// key built as a byte-oriented generalized Feistel network, designed for
+// low-resource devices such as RFID tags and sensor nodes; it is part of
+// ISO/IEC 18033-3 and the Korean TTA standard.
+
+type hight struct {
+	wk [8]byte   // whitening keys
+	sk [128]byte // round subkeys
+}
+
+var _ cipher.Block = (*hight)(nil)
+
+// NewHIGHT returns the HIGHT block cipher for a 16-byte key.
+func NewHIGHT(key []byte) (cipher.Block, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{Algorithm: "HIGHT", Len: len(key)}
+	}
+	// The specification prints keys as MK15..MK0, so the first byte of
+	// the caller's key is MK15. Reverse into MK0-first indexing.
+	var mk [16]byte
+	for i := range mk {
+		mk[i] = key[15-i]
+	}
+	var c hight
+	// Whitening keys: WK0..3 = MK12..15, WK4..7 = MK0..3.
+	for i := 0; i < 4; i++ {
+		c.wk[i] = mk[i+12]
+		c.wk[i+4] = mk[i]
+	}
+	// Delta constants from the degree-7 LFSR x^7 + x^3 + 1 with initial
+	// state s6..s0 = 1011010.
+	var s [134]byte
+	init := [7]byte{0, 1, 0, 1, 1, 0, 1} // s0..s6
+	copy(s[:], init[:])
+	for i := 7; i < 134; i++ {
+		s[i] = s[i-7] ^ s[i-4]
+	}
+	delta := func(i int) byte {
+		var d byte
+		for b := 0; b < 7; b++ {
+			d |= s[i+b] << uint(b)
+		}
+		return d
+	}
+	// Subkeys.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			c.sk[16*i+j] = mk[(j-i+8)%8] + delta(16*i+j)
+			c.sk[16*i+j+8] = mk[(j-i+8)%8+8] + delta(16*i+j+8)
+		}
+	}
+	return &c, nil
+}
+
+func (c *hight) BlockSize() int { return 8 }
+
+func hightF0(x byte) byte {
+	return bits.RotateLeft8(x, 1) ^ bits.RotateLeft8(x, 2) ^ bits.RotateLeft8(x, 7)
+}
+
+func hightF1(x byte) byte {
+	return bits.RotateLeft8(x, 3) ^ bits.RotateLeft8(x, 4) ^ bits.RotateLeft8(x, 6)
+}
+
+func (c *hight) Encrypt(dst, src []byte) {
+	checkBlock("HIGHT", 8, dst, src)
+	// The specification prints blocks as P7..P0 / C7..C0; src[0] is P7.
+	var x [8]byte
+	for i := range x {
+		x[i] = src[7-i]
+	}
+
+	// Initial transformation.
+	x[0] += c.wk[0]
+	x[2] ^= c.wk[1]
+	x[4] += c.wk[2]
+	x[6] ^= c.wk[3]
+
+	for r := 0; r < 32; r++ {
+		sk := c.sk[4*r:]
+		var y [8]byte
+		y[1] = x[0]
+		y[3] = x[2]
+		y[5] = x[4]
+		y[7] = x[6]
+		y[0] = x[7] ^ (hightF0(x[6]) + sk[3])
+		y[2] = x[1] + (hightF1(x[0]) ^ sk[0])
+		y[4] = x[3] ^ (hightF0(x[2]) + sk[1])
+		y[6] = x[5] + (hightF1(x[4]) ^ sk[2])
+		x = y
+	}
+
+	// Undo the last rotation (the final round keeps byte positions) and
+	// apply the final transformation.
+	var u [8]byte
+	u[0] = x[1]
+	u[1] = x[2]
+	u[2] = x[3]
+	u[3] = x[4]
+	u[4] = x[5]
+	u[5] = x[6]
+	u[6] = x[7]
+	u[7] = x[0]
+
+	u[0] += c.wk[4]
+	u[2] ^= c.wk[5]
+	u[4] += c.wk[6]
+	u[6] ^= c.wk[7]
+	for i := range u {
+		dst[7-i] = u[i]
+	}
+}
+
+func (c *hight) Decrypt(dst, src []byte) {
+	checkBlock("HIGHT", 8, dst, src)
+	var u [8]byte
+	for i := range u {
+		u[i] = src[7-i]
+	}
+
+	// Invert the final transformation.
+	u[0] -= c.wk[4]
+	u[2] ^= c.wk[5]
+	u[4] -= c.wk[6]
+	u[6] ^= c.wk[7]
+
+	// Re-apply the rotation removed at the end of encryption.
+	var x [8]byte
+	x[1] = u[0]
+	x[2] = u[1]
+	x[3] = u[2]
+	x[4] = u[3]
+	x[5] = u[4]
+	x[6] = u[5]
+	x[7] = u[6]
+	x[0] = u[7]
+
+	for r := 31; r >= 0; r-- {
+		sk := c.sk[4*r:]
+		var y [8]byte
+		y[0] = x[1]
+		y[2] = x[3]
+		y[4] = x[5]
+		y[6] = x[7]
+		y[7] = x[0] ^ (hightF0(y[6]) + sk[3])
+		y[1] = x[2] - (hightF1(y[0]) ^ sk[0])
+		y[3] = x[4] ^ (hightF0(y[2]) + sk[1])
+		y[5] = x[6] - (hightF1(y[4]) ^ sk[2])
+		x = y
+	}
+
+	// Invert the initial transformation.
+	x[0] -= c.wk[0]
+	x[2] ^= c.wk[1]
+	x[4] -= c.wk[2]
+	x[6] ^= c.wk[3]
+	for i := range x {
+		dst[7-i] = x[i]
+	}
+}

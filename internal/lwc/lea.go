@@ -1,0 +1,137 @@
+package lwc
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"math/bits"
+)
+
+// LEA (Hong et al., WISA 2013) is a 128-bit block ARX cipher from South
+// Korea's KISA, designed for fast software encryption on 32-bit platforms;
+// standardized in ISO/IEC 29192-2. Table III files it under Feistel;
+// structurally it is a 4-branch ARX generalized Feistel.
+
+// leaDelta are the key-schedule constants from the LEA specification.
+var leaDelta = [8]uint32{
+	0xc3efe9db, 0x44626b02, 0x79e27c8a, 0x78df30ec,
+	0x715ea49e, 0xc785da0a, 0xe04ef22a, 0xe5c40957,
+}
+
+type lea struct {
+	rk     [][6]uint32
+	rounds int
+}
+
+var _ cipher.Block = (*lea)(nil)
+
+// NewLEA returns the LEA block cipher for a 16-, 24- or 32-byte key
+// (24, 28 or 32 rounds respectively).
+func NewLEA(key []byte) (cipher.Block, error) {
+	switch len(key) {
+	case 16:
+		return newLEA128(key), nil
+	case 24:
+		return newLEA192(key), nil
+	case 32:
+		return newLEA256(key), nil
+	default:
+		return nil, KeySizeError{Algorithm: "LEA", Len: len(key)}
+	}
+}
+
+func newLEA128(key []byte) *lea {
+	var t [4]uint32
+	for i := range t {
+		t[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	c := &lea{rounds: 24, rk: make([][6]uint32, 24)}
+	for i := 0; i < 24; i++ {
+		d := leaDelta[i%4]
+		t[0] = bits.RotateLeft32(t[0]+bits.RotateLeft32(d, i), 1)
+		t[1] = bits.RotateLeft32(t[1]+bits.RotateLeft32(d, i+1), 3)
+		t[2] = bits.RotateLeft32(t[2]+bits.RotateLeft32(d, i+2), 6)
+		t[3] = bits.RotateLeft32(t[3]+bits.RotateLeft32(d, i+3), 11)
+		c.rk[i] = [6]uint32{t[0], t[1], t[2], t[1], t[3], t[1]}
+	}
+	return c
+}
+
+func newLEA192(key []byte) *lea {
+	var t [6]uint32
+	for i := range t {
+		t[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	c := &lea{rounds: 28, rk: make([][6]uint32, 28)}
+	for i := 0; i < 28; i++ {
+		d := leaDelta[i%6]
+		t[0] = bits.RotateLeft32(t[0]+bits.RotateLeft32(d, i), 1)
+		t[1] = bits.RotateLeft32(t[1]+bits.RotateLeft32(d, i+1), 3)
+		t[2] = bits.RotateLeft32(t[2]+bits.RotateLeft32(d, i+2), 6)
+		t[3] = bits.RotateLeft32(t[3]+bits.RotateLeft32(d, i+3), 11)
+		t[4] = bits.RotateLeft32(t[4]+bits.RotateLeft32(d, i+4), 13)
+		t[5] = bits.RotateLeft32(t[5]+bits.RotateLeft32(d, i+5), 17)
+		c.rk[i] = [6]uint32{t[0], t[1], t[2], t[3], t[4], t[5]}
+	}
+	return c
+}
+
+func newLEA256(key []byte) *lea {
+	var t [8]uint32
+	for i := range t {
+		t[i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	rot := [6]int{1, 3, 6, 11, 13, 17}
+	c := &lea{rounds: 32, rk: make([][6]uint32, 32)}
+	for i := 0; i < 32; i++ {
+		d := leaDelta[i%8]
+		var rk [6]uint32
+		for j := 0; j < 6; j++ {
+			idx := (6*i + j) % 8
+			t[idx] = bits.RotateLeft32(t[idx]+bits.RotateLeft32(d, i+j), rot[j])
+			rk[j] = t[idx]
+		}
+		c.rk[i] = rk
+	}
+	return c
+}
+
+func (c *lea) BlockSize() int { return 16 }
+
+func (c *lea) Encrypt(dst, src []byte) {
+	checkBlock("LEA", 16, dst, src)
+	x0 := binary.LittleEndian.Uint32(src[0:])
+	x1 := binary.LittleEndian.Uint32(src[4:])
+	x2 := binary.LittleEndian.Uint32(src[8:])
+	x3 := binary.LittleEndian.Uint32(src[12:])
+	for i := 0; i < c.rounds; i++ {
+		rk := &c.rk[i]
+		y0 := bits.RotateLeft32((x0^rk[0])+(x1^rk[1]), 9)
+		y1 := bits.RotateLeft32((x1^rk[2])+(x2^rk[3]), -5)
+		y2 := bits.RotateLeft32((x2^rk[4])+(x3^rk[5]), -3)
+		x0, x1, x2, x3 = y0, y1, y2, x0
+	}
+	binary.LittleEndian.PutUint32(dst[0:], x0)
+	binary.LittleEndian.PutUint32(dst[4:], x1)
+	binary.LittleEndian.PutUint32(dst[8:], x2)
+	binary.LittleEndian.PutUint32(dst[12:], x3)
+}
+
+func (c *lea) Decrypt(dst, src []byte) {
+	checkBlock("LEA", 16, dst, src)
+	x0 := binary.LittleEndian.Uint32(src[0:])
+	x1 := binary.LittleEndian.Uint32(src[4:])
+	x2 := binary.LittleEndian.Uint32(src[8:])
+	x3 := binary.LittleEndian.Uint32(src[12:])
+	for i := c.rounds - 1; i >= 0; i-- {
+		rk := &c.rk[i]
+		p0 := x3
+		p1 := (bits.RotateLeft32(x0, -9) - (p0 ^ rk[0])) ^ rk[1]
+		p2 := (bits.RotateLeft32(x1, 5) - (p1 ^ rk[2])) ^ rk[3]
+		p3 := (bits.RotateLeft32(x2, 3) - (p2 ^ rk[4])) ^ rk[5]
+		x0, x1, x2, x3 = p0, p1, p2, p3
+	}
+	binary.LittleEndian.PutUint32(dst[0:], x0)
+	binary.LittleEndian.PutUint32(dst[4:], x1)
+	binary.LittleEndian.PutUint32(dst[8:], x2)
+	binary.LittleEndian.PutUint32(dst[12:], x3)
+}

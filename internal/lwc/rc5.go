@@ -1,0 +1,90 @@
+package lwc
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// RC5 magic constants for w=32 (Odd((e-2)*2^32) and Odd((phi-1)*2^32)).
+const (
+	rc5P32 uint32 = 0xB7E15163
+	rc5Q32 uint32 = 0x9E3779B9
+)
+
+type rc5 struct {
+	s      []uint32
+	rounds int
+}
+
+var _ cipher.Block = (*rc5)(nil)
+
+// NewRC5 returns RC5-32/r/b (Rivest, 1994): 32-bit words (64-bit block),
+// r rounds, and a key of b bytes, 0 <= b <= 255. Table III lists the
+// parameterisation key 0..2040 bits, rounds 1..255; RC5-32/12/16 is the
+// nominal version and is what the registry instantiates.
+func NewRC5(key []byte, rounds int) (cipher.Block, error) {
+	if len(key) > 255 {
+		return nil, KeySizeError{Algorithm: "RC5", Len: len(key)}
+	}
+	if rounds < 1 || rounds > 255 {
+		return nil, fmt.Errorf("lwc: RC5 rounds %d out of range [1,255]", rounds)
+	}
+
+	// Key expansion per the RC5 paper: convert key to little-endian words
+	// L, fill S with the arithmetic progression P32 + i*Q32, then mix.
+	c := (len(key) + 3) / 4
+	if c == 0 {
+		c = 1
+	}
+	l := make([]uint32, c)
+	for i := len(key) - 1; i >= 0; i-- {
+		l[i/4] = l[i/4]<<8 + uint32(key[i])
+	}
+
+	t := 2 * (rounds + 1)
+	s := make([]uint32, t)
+	s[0] = rc5P32
+	for i := 1; i < t; i++ {
+		s[i] = s[i-1] + rc5Q32
+	}
+
+	var a, b uint32
+	n := 3 * max(t, c)
+	for k, i, j := 0, 0, 0; k < n; k++ {
+		a = bits.RotateLeft32(s[i]+a+b, 3)
+		s[i] = a
+		b = bits.RotateLeft32(l[j]+a+b, int(a+b)&31)
+		l[j] = b
+		i = (i + 1) % t
+		j = (j + 1) % c
+	}
+	return &rc5{s: s, rounds: rounds}, nil
+}
+
+func (c *rc5) BlockSize() int { return 8 }
+
+func (c *rc5) Encrypt(dst, src []byte) {
+	checkBlock("RC5", 8, dst, src)
+	a := binary.LittleEndian.Uint32(src[0:]) + c.s[0]
+	b := binary.LittleEndian.Uint32(src[4:]) + c.s[1]
+	for i := 1; i <= c.rounds; i++ {
+		a = bits.RotateLeft32(a^b, int(b)&31) + c.s[2*i]
+		b = bits.RotateLeft32(b^a, int(a)&31) + c.s[2*i+1]
+	}
+	binary.LittleEndian.PutUint32(dst[0:], a)
+	binary.LittleEndian.PutUint32(dst[4:], b)
+}
+
+func (c *rc5) Decrypt(dst, src []byte) {
+	checkBlock("RC5", 8, dst, src)
+	a := binary.LittleEndian.Uint32(src[0:])
+	b := binary.LittleEndian.Uint32(src[4:])
+	for i := c.rounds; i >= 1; i-- {
+		b = bits.RotateLeft32(b-c.s[2*i+1], -(int(a)&31)) ^ a
+		a = bits.RotateLeft32(a-c.s[2*i], -(int(b)&31)) ^ b
+	}
+	binary.LittleEndian.PutUint32(dst[0:], a-c.s[0])
+	binary.LittleEndian.PutUint32(dst[4:], b-c.s[1])
+}

@@ -1,0 +1,125 @@
+package lwc
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// teaDelta is the key-schedule constant shared by TEA and XTEA
+// (2^32 / golden ratio).
+const teaDelta uint32 = 0x9E3779B9
+
+const teaRounds = 32 // 32 cycles = 64 Feistel rounds, the "64" in Table III
+
+// teaDecryptSum is teaDelta*teaRounds mod 2^32, the sum register value at
+// the end of encryption.
+const teaDecryptSum uint32 = 0xC6EF3720
+
+type tea struct {
+	k [4]uint32
+}
+
+var _ cipher.Block = (*tea)(nil)
+
+// NewTEA returns the Tiny Encryption Algorithm (Wheeler & Needham, 1994)
+// with a 128-bit key and 64-bit block.
+func NewTEA(key []byte) (cipher.Block, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{Algorithm: "TEA", Len: len(key)}
+	}
+	var c tea
+	for i := range c.k {
+		c.k[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	return &c, nil
+}
+
+func (c *tea) BlockSize() int { return 8 }
+
+func (c *tea) Encrypt(dst, src []byte) {
+	checkBlock("TEA", 8, dst, src)
+	v0 := binary.BigEndian.Uint32(src[0:])
+	v1 := binary.BigEndian.Uint32(src[4:])
+	var sum uint32
+	for i := 0; i < teaRounds; i++ {
+		sum += teaDelta
+		v0 += ((v1 << 4) + c.k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + c.k[1])
+		v1 += ((v0 << 4) + c.k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + c.k[3])
+	}
+	binary.BigEndian.PutUint32(dst[0:], v0)
+	binary.BigEndian.PutUint32(dst[4:], v1)
+}
+
+func (c *tea) Decrypt(dst, src []byte) {
+	checkBlock("TEA", 8, dst, src)
+	v0 := binary.BigEndian.Uint32(src[0:])
+	v1 := binary.BigEndian.Uint32(src[4:])
+	sum := teaDecryptSum
+	for i := 0; i < teaRounds; i++ {
+		v1 -= ((v0 << 4) + c.k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + c.k[3])
+		v0 -= ((v1 << 4) + c.k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + c.k[1])
+		sum -= teaDelta
+	}
+	binary.BigEndian.PutUint32(dst[0:], v0)
+	binary.BigEndian.PutUint32(dst[4:], v1)
+}
+
+type xtea struct {
+	k [4]uint32
+}
+
+var _ cipher.Block = (*xtea)(nil)
+
+// NewXTEA returns XTEA (Needham & Wheeler, 1997), TEA's successor that
+// fixes TEA's related-key weaknesses; 128-bit key, 64-bit block.
+func NewXTEA(key []byte) (cipher.Block, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{Algorithm: "XTEA", Len: len(key)}
+	}
+	var c xtea
+	for i := range c.k {
+		c.k[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	return &c, nil
+}
+
+func (c *xtea) BlockSize() int { return 8 }
+
+func (c *xtea) Encrypt(dst, src []byte) {
+	checkBlock("XTEA", 8, dst, src)
+	v0 := binary.BigEndian.Uint32(src[0:])
+	v1 := binary.BigEndian.Uint32(src[4:])
+	var sum uint32
+	for i := 0; i < teaRounds; i++ {
+		v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + c.k[sum&3])
+		sum += teaDelta
+		v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + c.k[(sum>>11)&3])
+	}
+	binary.BigEndian.PutUint32(dst[0:], v0)
+	binary.BigEndian.PutUint32(dst[4:], v1)
+}
+
+func (c *xtea) Decrypt(dst, src []byte) {
+	checkBlock("XTEA", 8, dst, src)
+	v0 := binary.BigEndian.Uint32(src[0:])
+	v1 := binary.BigEndian.Uint32(src[4:])
+	sum := teaDecryptSum
+	for i := 0; i < teaRounds; i++ {
+		v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + c.k[(sum>>11)&3])
+		sum -= teaDelta
+		v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + c.k[sum&3])
+	}
+	binary.BigEndian.PutUint32(dst[0:], v0)
+	binary.BigEndian.PutUint32(dst[4:], v1)
+}
+
+// checkBlock panics if dst or src is shorter than the block size, matching
+// the contract of crypto/cipher.Block implementations in the stdlib.
+func checkBlock(name string, n int, dst, src []byte) {
+	if len(src) < n {
+		panic("lwc: " + name + ": input not full block")
+	}
+	if len(dst) < n {
+		panic("lwc: " + name + ": output not full block")
+	}
+}

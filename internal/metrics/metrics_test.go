@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfusionScores(t *testing.T) {
+	var c Confusion
+	// 8 TP, 2 FP, 2 FN, 88 TN.
+	for i := 0; i < 8; i++ {
+		c.Record(true, true)
+	}
+	for i := 0; i < 2; i++ {
+		c.Record(true, false)
+		c.Record(false, true)
+	}
+	for i := 0; i < 88; i++ {
+		c.Record(false, false)
+	}
+	if p := c.Precision(); p != 0.8 {
+		t.Errorf("precision = %v, want 0.8", p)
+	}
+	if r := c.Recall(); r != 0.8 {
+		t.Errorf("recall = %v, want 0.8", r)
+	}
+	if f := c.F1(); f < 0.799 || f > 0.801 {
+		t.Errorf("f1 = %v, want 0.8", f)
+	}
+	if a := c.Accuracy(); a != 0.96 {
+		t.Errorf("accuracy = %v, want 0.96", a)
+	}
+	s := c.String()
+	if !strings.Contains(s, "F1=0.800") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("vacuous precision/recall should be 1")
+	}
+	if c.F1() != 1 {
+		t.Errorf("vacuous F1 = %v", c.F1())
+	}
+	if c.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	var a, b Confusion
+	a.Record(true, true)
+	b.Record(false, true)
+	a.Add(b)
+	if a.TP != 1 || a.FN != 1 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Quantile(0.5) != 0 {
+		t.Error("empty latencies not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Errorf("count = %d", l.Count())
+	}
+	if m := l.Mean(); m != 50500*time.Microsecond {
+		t.Errorf("mean = %v", m)
+	}
+	if p50 := l.Quantile(0.5); p50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 := l.Quantile(0.99); p99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if p0 := l.Quantile(0); p0 != time.Millisecond {
+		t.Errorf("p0 = %v", p0)
+	}
+	if p100 := l.Quantile(1); p100 != 100*time.Millisecond {
+		t.Errorf("p100 = %v", p100)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X: demo", "Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRow("gamma") // missing cell
+	out := tb.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if tb.Rows() != 3 {
+		t.Errorf("rows = %d", tb.Rows())
+	}
+	// Columns align: all data lines have "Value" column at same offset.
+	col := strings.Index(lines[1], "Value")
+	if !strings.HasPrefix(lines[3][col:], "1") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}

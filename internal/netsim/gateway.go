@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+)
+
+// Gateway is the smart home gateway: it NATs LAN traffic to its WAN
+// address, keeps the port-mapping table, and is where XLF's network-layer
+// functions (shaping, monitoring, NAC) are deployed when the XLF Core runs
+// at the edge (§IV-D).
+type Gateway struct {
+	lanAddr Addr
+	wanAddr Addr
+
+	// natOut maps (lanSrc, dstPort, dst) -> external port;
+	// natIn maps external port -> lan address/port.
+	natOut map[natKey]int
+	natIn  map[int]natBinding
+	next   int
+
+	// Firewall rules: NAC policy hook (§IV-A3 constrained access). If
+	// non-nil, outbound packets it rejects are dropped and counted.
+	OutboundPolicy func(pkt *Packet) error
+	// InboundPolicy guards WAN->LAN traffic (port protection, §II-B).
+	InboundPolicy func(pkt *Packet) error
+
+	// Shaper, when set, intercepts outbound post-NAT packets (traffic
+	// shaping lives on the gateway). It receives the packet and a send
+	// function to emit (possibly delayed/padded) traffic.
+	Shaper func(pkt *Packet, send func(*Packet))
+
+	// OnForward, when set, observes every accepted outbound packet with
+	// its ORIGINAL (pre-NAT) addressing — the gateway-resident XLF
+	// functions read device attribution here, since post-NAT taps only
+	// see the gateway's own address.
+	OnForward func(pkt *Packet)
+
+	blockedOut uint64
+	blockedIn  uint64
+	forwarded  uint64
+}
+
+type natKey struct {
+	lanSrc  Addr
+	lanPort int
+	dst     Addr
+	dstPort int
+}
+
+type natBinding struct {
+	lanAddr Addr
+	lanPort int
+}
+
+var _ Node = (*Gateway)(nil)
+
+// NewGateway creates a gateway with LAN and WAN faces.
+func NewGateway(lan, wan Addr) *Gateway {
+	return &Gateway{
+		lanAddr: lan,
+		wanAddr: wan,
+		natOut:  make(map[natKey]int),
+		natIn:   make(map[int]natBinding),
+		next:    40000,
+	}
+}
+
+// Addr implements Node with the gateway's LAN face. The WAN face is
+// attached separately via WANNode.
+func (g *Gateway) Addr() Addr { return g.lanAddr }
+
+// WANAddr returns the external address.
+func (g *Gateway) WANAddr() Addr { return g.wanAddr }
+
+// Blocked returns (outboundBlocked, inboundBlocked).
+func (g *Gateway) Blocked() (uint64, uint64) { return g.blockedOut, g.blockedIn }
+
+// Forwarded returns the NAT-forwarded packet count.
+func (g *Gateway) Forwarded() uint64 { return g.forwarded }
+
+// Handle implements Node: LAN-side ingress. LAN packets destined to WAN
+// addresses are NATted and re-sent from the WAN face.
+func (g *Gateway) Handle(net *Network, pkt *Packet) {
+	if pkt.Dst != g.lanAddr {
+		return
+	}
+	// The convention: devices address WAN destinations through the
+	// gateway by leaving the true destination in pkt.App-agnostic field?
+	// No — devices send directly to wan: addresses; the network routes
+	// through deliver(). The gateway's Handle is only used for traffic
+	// addressed to the gateway itself (DNS forwarding, admin UI).
+	_ = net
+}
+
+// WANNode returns the Node for the gateway's WAN face, which receives
+// inbound traffic and un-NATs it.
+func (g *Gateway) WANNode() Node {
+	return &FuncNode{Address: g.wanAddr, Fn: g.handleInbound}
+}
+
+func (g *Gateway) handleInbound(net *Network, pkt *Packet) {
+	b, ok := g.natIn[pkt.DstPort]
+	if !ok {
+		g.blockedIn++
+		return
+	}
+	if g.InboundPolicy != nil {
+		if err := g.InboundPolicy(pkt); err != nil {
+			g.blockedIn++
+			return
+		}
+	}
+	in := pkt.Clone()
+	in.Dst = b.lanAddr
+	in.DstPort = b.lanPort
+	g.forwarded++
+	net.Send(in)
+}
+
+// SendOut NATs a LAN packet to the WAN and transmits it, applying the
+// outbound policy and the traffic shaper. Devices and the home router
+// call this for WAN-bound traffic.
+func (g *Gateway) SendOut(net *Network, pkt *Packet) error {
+	if !pkt.Src.IsLAN() {
+		return fmt.Errorf("netsim: SendOut from non-LAN address %q", pkt.Src)
+	}
+	if g.OutboundPolicy != nil {
+		if err := g.OutboundPolicy(pkt); err != nil {
+			g.blockedOut++
+			return fmt.Errorf("netsim: outbound blocked: %w", err)
+		}
+	}
+	key := natKey{lanSrc: pkt.Src, lanPort: pkt.SrcPort, dst: pkt.Dst, dstPort: pkt.DstPort}
+	ext, ok := g.natOut[key]
+	if !ok {
+		g.next++
+		ext = g.next
+		g.natOut[key] = ext
+		g.natIn[ext] = natBinding{lanAddr: pkt.Src, lanPort: pkt.SrcPort}
+	}
+	if g.OnForward != nil {
+		g.OnForward(pkt)
+	}
+	out := pkt.Clone()
+	out.Src = g.wanAddr
+	out.SrcPort = ext
+	g.forwarded++
+	if g.Shaper != nil {
+		g.Shaper(out, func(p *Packet) { net.Send(p) })
+		return nil
+	}
+	net.Send(out)
+	return nil
+}
+
+// ExternalPortFor exposes the NAT mapping for tests and the adversary
+// model (an external observer distinguishes clients by external port).
+func (g *Gateway) ExternalPortFor(lanSrc Addr, lanPort int, dst Addr, dstPort int) (int, bool) {
+	p, ok := g.natOut[natKey{lanSrc: lanSrc, lanPort: lanPort, dst: dst, dstPort: dstPort}]
+	return p, ok
+}

@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xlf/internal/sim"
+)
+
+// Property: with loss-free links, every sent packet to an attached node is
+// delivered exactly once, and byte accounting matches.
+func TestConservationProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		k := sim.NewKernel(3)
+		n := New(k)
+		recv := &sink{addr: "lan:recv"}
+		if err := n.Attach(&sink{addr: "lan:send"}, DefaultLAN()); err != nil {
+			return false
+		}
+		if err := n.Attach(recv, DefaultLAN()); err != nil {
+			return false
+		}
+		var want uint64
+		count := len(sizes)
+		if count > 300 {
+			count = 300
+		}
+		for i := 0; i < count; i++ {
+			sz := int(sizes[i])%1400 + 1
+			want += uint64(sz)
+			n.Send(&Packet{Src: "lan:send", Dst: "lan:recv", Size: sz})
+		}
+		if err := k.Run(10 * time.Minute); err != nil {
+			return false
+		}
+		delivered, dropped, bytes := n.Stats()
+		return int(delivered) == count && dropped == 0 && bytes == want && len(recv.got) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FlowStats byte totals equal the record byte total, and packet
+// counts match, for any record set.
+func TestFlowStatsConservation(t *testing.T) {
+	f := func(srcs []uint8, sizes []uint8) bool {
+		n := len(srcs)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		var recs []PacketRecord
+		total := 0
+		for i := 0; i < n; i++ {
+			sz := int(sizes[i]) + 1
+			total += sz
+			recs = append(recs, PacketRecord{
+				Time: time.Duration(i) * time.Second,
+				Src:  Addr([]string{"lan:a", "lan:b", "lan:c"}[srcs[i]%3]),
+				Dst:  "wan:x", DstPort: 443, Proto: "TLS", Size: sz,
+			})
+		}
+		stats := FlowStats(recs)
+		gotBytes, gotPkts := 0, 0
+		for _, s := range stats {
+			gotBytes += s.Bytes
+			gotPkts += s.Packets
+		}
+		return gotBytes == total && gotPkts == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryPopulated(t *testing.T) {
+	r := NewRegistry()
+	if got := len(r.All()); got < 20 {
+		t.Fatalf("registry has %d protocols, want >= 20", got)
+	}
+	for _, name := range []string{"ZigBee", "Z-Wave", "6LoWPAN", "TLS", "DTLS", "UPnP", "DNS", "IEEE 802.15.4"} {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("missing protocol %q from Figure 2", name)
+		}
+	}
+}
+
+func TestEveryLayerRepresented(t *testing.T) {
+	r := NewRegistry()
+	for _, l := range []Layer{LayerPhysical, LayerNetwork, LayerTransport, LayerApplication} {
+		if len(r.AtLayer(l)) == 0 {
+			t.Errorf("layer %s has no protocols", l)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(Protocol{Name: "", Layer: LayerNetwork}); err == nil {
+		t.Error("Add accepted empty name")
+	}
+	if err := r.Add(Protocol{Name: "TLS", Layer: LayerTransport}); err == nil {
+		t.Error("Add accepted duplicate name")
+	}
+	if err := r.Add(Protocol{Name: "Bogus", Layer: Layer(9)}); err == nil {
+		t.Error("Add accepted invalid layer")
+	}
+	if err := r.Add(Protocol{Name: "LoRaWAN", Layer: LayerPhysical}); err != nil {
+		t.Errorf("Add valid protocol: %v", err)
+	}
+	if _, ok := r.Lookup("LoRaWAN"); !ok {
+		t.Error("added protocol not found")
+	}
+}
+
+func TestCapabilitiesScoreAndString(t *testing.T) {
+	all := Capabilities{Encryption: true, Integrity: true, ReplayProtection: true, Authentication: true, AccessControl: true}
+	if all.Score() != 5 {
+		t.Errorf("full caps score = %d, want 5", all.Score())
+	}
+	var none Capabilities
+	if none.Score() != 0 || none.String() != "none" {
+		t.Errorf("empty caps = %d %q", none.Score(), none.String())
+	}
+	tls, _ := NewRegistry().Lookup("TLS")
+	if !strings.Contains(tls.Caps.String(), "enc") {
+		t.Errorf("TLS caps string %q missing enc", tls.Caps.String())
+	}
+}
+
+func TestSecureChannelsOutscoreCleartext(t *testing.T) {
+	r := NewRegistry()
+	tls, _ := r.Lookup("TLS")
+	http, _ := r.Lookup("HTTP")
+	upnp, _ := r.Lookup("UPnP")
+	if tls.Caps.Score() <= http.Caps.Score() {
+		t.Error("TLS does not outscore HTTP")
+	}
+	if upnp.Caps.Score() != 0 {
+		t.Errorf("UPnP score = %d, want 0 (the paper's open-port example)", upnp.Caps.Score())
+	}
+}
+
+func TestRenderFigure2(t *testing.T) {
+	out := NewRegistry().RenderFigure2()
+	for _, want := range []string{"Figure 2", "Application", "Transport", "Network", "Physical/Link", "ZigBee", "DTLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	if Layer(42).String() != "Layer(42)" {
+		t.Errorf("unknown layer string = %q", Layer(42).String())
+	}
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"xlf/internal/xauth"
+)
+
+// Scope is an OAuth2-style API scope (§IV-C1: "a read-only API client
+// should not be allowed to access an endpoint providing administration
+// functionality").
+type Scope string
+
+// API scopes.
+const (
+	ScopeRead  Scope = "read:device"
+	ScopeWrite Scope = "write:device"
+	ScopeAdmin Scope = "admin"
+)
+
+// scopeRank orders scopes by power.
+func scopeRank(s Scope) int {
+	switch s {
+	case ScopeRead:
+		return 1
+	case ScopeWrite:
+		return 2
+	case ScopeAdmin:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// APIToken is a scoped bearer token for the REST surface, derived from an
+// xauth SSO token: basic users get read, advanced get write, and admin is
+// only minted explicitly.
+type APIToken struct {
+	SSO   xauth.Token
+	Scope Scope
+}
+
+// API is the platform's REST-like surface with per-call validation and
+// simple token-bucket rate limiting per subject.
+type API struct {
+	cloud  *Cloud
+	signer *xauth.Signer
+	now    func() time.Duration
+
+	// RatePerMinute caps calls per subject per minute (0 = unlimited).
+	RatePerMinute int
+	calls         map[string][]time.Duration
+
+	accepted, rejected uint64
+}
+
+// NewAPI wraps a cloud with an authenticated API surface.
+func NewAPI(cloud *Cloud, signer *xauth.Signer, now func() time.Duration) *API {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &API{cloud: cloud, signer: signer, now: now, calls: make(map[string][]time.Duration)}
+}
+
+// Stats returns (accepted, rejected) call counts.
+func (a *API) Stats() (uint64, uint64) { return a.accepted, a.rejected }
+
+// MintToken derives an API token from a verified SSO token.
+func (a *API) MintToken(sso xauth.Token) (APIToken, error) {
+	if err := a.signer.Verify(sso, a.now(), ""); err != nil {
+		return APIToken{}, fmt.Errorf("service: mint: %w", err)
+	}
+	scope := ScopeRead
+	if sso.Priv >= xauth.Advanced && sso.MFA {
+		scope = ScopeWrite
+	}
+	return APIToken{SSO: sso, Scope: scope}, nil
+}
+
+// validate runs signature, scope and rate checks for one call.
+func (a *API) validate(t APIToken, need Scope) error {
+	if err := a.signer.Verify(t.SSO, a.now(), ""); err != nil {
+		a.rejected++
+		return err
+	}
+	if scopeRank(t.Scope) < scopeRank(need) {
+		a.rejected++
+		return fmt.Errorf("%w: have %s, need %s", ErrScopeViolation, t.Scope, need)
+	}
+	if a.RatePerMinute > 0 {
+		now := a.now()
+		hist := a.calls[t.SSO.Subject]
+		cut := 0
+		for cut < len(hist) && hist[cut] < now-time.Minute {
+			cut++
+		}
+		hist = hist[cut:]
+		if len(hist) >= a.RatePerMinute {
+			a.rejected++
+			a.calls[t.SSO.Subject] = hist
+			return fmt.Errorf("service: rate limit exceeded for %s", t.SSO.Subject)
+		}
+		a.calls[t.SSO.Subject] = append(hist, now)
+	}
+	a.accepted++
+	return nil
+}
+
+// GetStatus reads a device attribute (read scope).
+func (a *API) GetStatus(t APIToken, deviceID, attr string) (Event, error) {
+	if err := a.validate(t, ScopeRead); err != nil {
+		return Event{}, err
+	}
+	ev, ok := a.cloud.Shadow(deviceID, attr)
+	if !ok {
+		return Event{}, ErrUnknownDevice
+	}
+	return ev, nil
+}
+
+// SendCommand actuates a device (write scope).
+func (a *API) SendCommand(t APIToken, deviceID, command string) error {
+	if err := a.validate(t, ScopeWrite); err != nil {
+		return err
+	}
+	return a.cloud.UserCommand(t.SSO.Subject, deviceID, command)
+}
+
+// InstallApp deploys a SmartApp (admin scope).
+func (a *API) InstallApp(t APIToken, app *SmartApp) error {
+	if err := a.validate(t, ScopeAdmin); err != nil {
+		return err
+	}
+	return a.cloud.InstallApp(app)
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// IFTTT-style applets (§II-C): single trigger-action programs connecting
+// two services/devices. An Applet is sugar over SmartApp with exactly one
+// rule and minimal grants — the shape of the 200,000 recipes Ur et al.
+// analysed.
+
+// Applet describes one "if this then that" program.
+type Applet struct {
+	ID string
+	// If: the trigger.
+	IfDevice string
+	IfEvent  string
+	// Above optionally thresholds the trigger value.
+	Above *float64
+	// Then: the action.
+	ThenDevice  string
+	ThenCommand string
+}
+
+// Compile converts the applet into an installable SmartApp. The grants are
+// minimal: the trigger device's event capability and the action device's
+// command capability.
+func (a Applet) Compile(capOfCommand func(device, command string) string) (*SmartApp, error) {
+	if a.ID == "" {
+		return nil, errors.New("service: applet with empty ID")
+	}
+	if a.IfDevice == "" || a.IfEvent == "" || a.ThenDevice == "" || a.ThenCommand == "" {
+		return nil, fmt.Errorf("service: applet %q incomplete", a.ID)
+	}
+	actionCap := a.ThenCommand
+	if capOfCommand != nil {
+		if c := capOfCommand(a.ThenDevice, a.ThenCommand); c != "" {
+			actionCap = c
+		}
+	}
+	return &SmartApp{
+		ID: a.ID,
+		Rules: []Rule{{
+			TriggerDevice: a.IfDevice, TriggerEvent: a.IfEvent, TriggerAbove: a.Above,
+			ActionDevice: a.ThenDevice, ActionCommand: a.ThenCommand,
+		}},
+		Grants: []Grant{
+			{DeviceID: a.IfDevice, Capability: a.IfEvent},
+			{DeviceID: a.ThenDevice, Capability: actionCap},
+		},
+	}, nil
+}
+
+// InstallApplet compiles and installs an applet, resolving the action
+// capability from the target device's handler.
+func (c *Cloud) InstallApplet(a Applet) error {
+	app, err := a.Compile(func(deviceID, command string) string {
+		if h, ok := c.devices[deviceID]; ok {
+			return h.CapOfCommand[command]
+		}
+		return ""
+	})
+	if err != nil {
+		return err
+	}
+	return c.InstallApp(app)
+}
+
+// Subscriptions returns, for each installed app, the (device, event) pairs
+// it listens on — the platform's Subscription Management view (§II-C).
+func (c *Cloud) Subscriptions() map[string][]string {
+	out := make(map[string][]string)
+	for id, app := range c.apps {
+		seen := make(map[string]bool)
+		for _, r := range app.Rules {
+			key := r.TriggerDevice + "/" + r.TriggerEvent
+			if !seen[key] {
+				seen[key] = true
+				out[id] = append(out[id], key)
+			}
+		}
+		sort.Strings(out[id])
+	}
+	return out
+}

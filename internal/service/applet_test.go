@@ -1,0 +1,77 @@
+package service
+
+import (
+	"testing"
+)
+
+func TestAppletCompileValidation(t *testing.T) {
+	if _, err := (Applet{}).Compile(nil); err == nil {
+		t.Error("empty applet compiled")
+	}
+	if _, err := (Applet{ID: "x", IfDevice: "a"}).Compile(nil); err == nil {
+		t.Error("incomplete applet compiled")
+	}
+	app, err := (Applet{
+		ID: "motion-light", IfDevice: "cam-1", IfEvent: "motion",
+		ThenDevice: "bulb-1", ThenCommand: "on",
+	}).Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Rules) != 1 || len(app.Grants) != 2 {
+		t.Errorf("compiled app = %+v", app)
+	}
+}
+
+func TestInstallAppletEndToEnd(t *testing.T) {
+	c := newCloud(t, Flaws{})
+	if err := c.InstallApplet(Applet{
+		ID: "motion-light", IfDevice: "cam-1", IfEvent: "motion",
+		ThenDevice: "bulb-1", ThenCommand: "on",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishDeviceEvent("cam-1", "motion", 1); err != nil {
+		t.Fatal(err)
+	}
+	log := c.CommandLog()
+	if len(log) != 1 || log[0].DeviceID != "bulb-1" || log[0].Name != "on" {
+		t.Fatalf("command log = %+v", log)
+	}
+	// The capability was resolved from the handler's CapOfCommand map
+	// ("on" -> "switch"), so the grant is minimal and correct.
+	subs := c.Subscriptions()
+	if got := subs["motion-light"]; len(got) != 1 || got[0] != "cam-1/motion" {
+		t.Errorf("subscriptions = %v", subs)
+	}
+}
+
+func TestAppletThreshold(t *testing.T) {
+	c := newCloud(t, Flaws{})
+	limit := 80.0
+	if err := c.InstallApplet(Applet{
+		ID: "hot-window", IfDevice: "thermo-1", IfEvent: "temperature", Above: &limit,
+		ThenDevice: "window-1", ThenCommand: "open",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishDeviceEvent("thermo-1", "temperature", 75)
+	if len(c.CommandLog()) != 0 {
+		t.Error("sub-threshold applet fired")
+	}
+	c.PublishDeviceEvent("thermo-1", "temperature", 85)
+	if len(c.CommandLog()) != 1 {
+		t.Error("applet did not fire above threshold")
+	}
+}
+
+func TestInstallAppletRejectsUnknownDevices(t *testing.T) {
+	c := newCloud(t, Flaws{})
+	err := c.InstallApplet(Applet{
+		ID: "ghost", IfDevice: "nonexistent", IfEvent: "x",
+		ThenDevice: "bulb-1", ThenCommand: "on",
+	})
+	if err == nil {
+		t.Error("applet on unknown device installed")
+	}
+}

@@ -1,0 +1,243 @@
+package shaping
+
+import (
+	"sort"
+	"time"
+
+	"xlf/internal/netsim"
+)
+
+// KnowledgeBase is the adversary's public knowledge: which vendor domain
+// belongs to which device type, and each type's typical WAN rate band in
+// bytes/second (from purchasable devices, as Apthorpe et al. note).
+type KnowledgeBase struct {
+	// DomainType maps vendor domain -> device type label.
+	DomainType map[string]string
+	// DomainAddr is the public DNS mapping the adversary can resolve
+	// itself.
+	DomainAddr map[string]netsim.Addr
+	// RateBand gives per-type (min, max) mean rate in B/s; zero value
+	// disables the rate check for that type.
+	RateBand map[string][2]float64
+}
+
+// addrDomain inverts DomainAddr.
+func (kb KnowledgeBase) addrDomain() map[netsim.Addr]string {
+	out := make(map[netsim.Addr]string, len(kb.DomainAddr))
+	for d, a := range kb.DomainAddr {
+		out[a] = d
+	}
+	return out
+}
+
+// Identification is one device-type claim by the adversary.
+type Identification struct {
+	ExternalPort int
+	Domain       string
+	DeviceType   string
+	Confidence   float64
+}
+
+// InferredEvent is a user-activity claim: "something happened on this flow
+// at this time".
+type InferredEvent struct {
+	Time         time.Duration
+	ExternalPort int
+	DeviceType   string
+}
+
+// Adversary is the passive WAN observer.
+type Adversary struct {
+	KB KnowledgeBase
+	// BinWidth is the rate-sampling bin for activity inference.
+	BinWidth time.Duration
+	// SpikeFactor is how far above the flow's median bin a bin must rise
+	// to count as an event.
+	SpikeFactor float64
+}
+
+// NewAdversary returns an observer with HoMonit/Apthorpe-like defaults.
+func NewAdversary(kb KnowledgeBase) *Adversary {
+	return &Adversary{KB: kb, BinWidth: time.Second, SpikeFactor: 3}
+}
+
+// IdentifyDevices performs steps 1-2 of the Apthorpe inference: separate
+// packet streams by external endpoint, then associate DNS queries (or
+// self-resolved destination addresses) with device types. Shaping and DNS
+// encryption degrade it: encrypted DNS removes the query signal, dummies
+// create flows to cover destinations, and padding moves rates out of the
+// knowledge-base band.
+func (a *Adversary) IdentifyDevices(records []netsim.PacketRecord) []Identification {
+	addrDom := a.KB.addrDomain()
+
+	// Step 1: distinct client streams = distinct external source ports.
+	type flowAgg struct {
+		bytes int
+		first time.Duration
+		last  time.Duration
+		dom   string
+	}
+	flows := make(map[int]*flowAgg)
+	// Cleartext DNS names seen (boosts confidence when present).
+	dnsSeen := make(map[string]bool)
+	for _, r := range records {
+		if r.DNSName != "" && !r.Encrypted {
+			dnsSeen[r.DNSName] = true
+		}
+		if r.DstPort == 53 || r.SrcPort == 53 {
+			continue // the DNS channel itself
+		}
+		if !r.Src.IsLAN() && r.SrcPort != 0 {
+			// Outbound post-NAT packet (src = gateway WAN face).
+			f := flows[r.SrcPort]
+			if f == nil {
+				f = &flowAgg{first: r.Time}
+				flows[r.SrcPort] = f
+			}
+			f.bytes += r.Size
+			f.last = r.Time
+			if d, ok := addrDom[r.Dst]; ok {
+				f.dom = d
+			}
+		}
+	}
+
+	var out []Identification
+	for port, f := range flows {
+		if f.dom == "" {
+			continue
+		}
+		typ, ok := a.KB.DomainType[f.dom]
+		if !ok {
+			continue
+		}
+		conf := 0.5
+		if dnsSeen[f.dom] {
+			conf += 0.3 // the DNS query itself was observed
+		}
+		if band, ok := a.KB.RateBand[typ]; ok && band != [2]float64{} {
+			dur := (f.last - f.first).Seconds()
+			if dur > 0 {
+				rate := float64(f.bytes) / dur
+				if rate >= band[0] && rate <= band[1] {
+					conf += 0.2
+				} else {
+					conf -= 0.3 // rate inconsistent with the claimed type
+				}
+			}
+		}
+		if conf < 0.5 {
+			continue
+		}
+		out = append(out, Identification{
+			ExternalPort: port, Domain: f.dom, DeviceType: typ,
+			Confidence: minF(conf, 1),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ExternalPort < out[j].ExternalPort })
+	return out
+}
+
+// InferEvents performs step 3: rate spikes per external-port stream
+// signal user interactions.
+func (a *Adversary) InferEvents(records []netsim.PacketRecord) []InferredEvent {
+	addrDom := a.KB.addrDomain()
+	type key struct {
+		port int
+	}
+	bins := make(map[key]map[int64]int)
+	doms := make(map[key]string)
+	for _, r := range records {
+		if r.DstPort == 53 || r.SrcPort == 53 || r.Src.IsLAN() {
+			continue
+		}
+		k := key{r.SrcPort}
+		if bins[k] == nil {
+			bins[k] = make(map[int64]int)
+		}
+		bins[k][int64(r.Time/a.BinWidth)] += r.Size
+		if d, ok := addrDom[r.Dst]; ok {
+			doms[k] = d
+		}
+	}
+	var out []InferredEvent
+	for k, byBin := range bins {
+		if len(byBin) < 2 {
+			continue
+		}
+		var vals []int
+		for _, v := range byBin {
+			vals = append(vals, v)
+		}
+		sort.Ints(vals)
+		med := float64(vals[len(vals)/2])
+		if med <= 0 {
+			med = 1
+		}
+		var binIDs []int64
+		for b := range byBin {
+			binIDs = append(binIDs, b)
+		}
+		sort.Slice(binIDs, func(i, j int) bool { return binIDs[i] < binIDs[j] })
+		for _, b := range binIDs {
+			if float64(byBin[b]) >= a.SpikeFactor*med {
+				typ := a.KB.DomainType[doms[k]]
+				out = append(out, InferredEvent{
+					Time:         time.Duration(b) * a.BinWidth,
+					ExternalPort: k.port,
+					DeviceType:   typ,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// GroundTruthEvent is a labelled real event for scoring.
+type GroundTruthEvent struct {
+	Time       time.Duration
+	DeviceType string
+}
+
+// ScoreEvents compares inferred events with ground truth using a matching
+// tolerance, returning (precision, recall).
+func ScoreEvents(inferred []InferredEvent, truth []GroundTruthEvent, tolerance time.Duration) (float64, float64) {
+	if len(inferred) == 0 {
+		if len(truth) == 0 {
+			return 1, 1
+		}
+		return 1, 0 // vacuous precision, zero recall
+	}
+	usedT := make([]bool, len(truth))
+	tp := 0
+	for _, ev := range inferred {
+		for ti, tr := range truth {
+			if usedT[ti] {
+				continue
+			}
+			dt := ev.Time - tr.Time
+			if dt < 0 {
+				dt = -dt
+			}
+			if dt <= tolerance {
+				usedT[ti] = true
+				tp++
+				break
+			}
+		}
+	}
+	precision := float64(tp) / float64(len(inferred))
+	recall := 0.0
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	return precision, recall
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,247 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every time-dependent component of the XLF testbed (devices, links, DNS,
+// clouds, attackers) runs on a sim.Kernel rather than the wall clock, so a
+// whole smart-home scenario — including attacks and detections — replays
+// bit-identically from a seed. Time is modeled as a time.Duration offset
+// from the simulation epoch.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. Events run in timestamp order; ties are
+// broken by scheduling order so runs are deterministic.
+type Event struct {
+	At   time.Duration
+	Name string
+	Fn   func()
+
+	seq      uint64
+	canceled bool
+	index    int
+}
+
+// Cancel marks the event so the kernel skips it when its time arrives.
+// Canceling an already-executed event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when StopNow interrupted the event loop.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// Kernel is a single-threaded discrete-event scheduler with its own seeded
+// randomness source. It is not safe for concurrent use; the simulation
+// model is strictly sequential, which is what makes runs reproducible.
+type Kernel struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	ran     uint64
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// The same seed and the same scheduling sequence yield identical runs.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time as an offset from the epoch.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source. Components must
+// draw all randomness from here, never from package-level rand or crypto
+// rand, so that scenarios replay exactly.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending returns the number of events waiting in the queue, including
+// canceled events that have not yet been discarded.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Processed returns how many events have executed since the kernel was
+// created.
+func (k *Kernel) Processed() uint64 { return k.ran }
+
+// Schedule queues fn to run after delay (relative to Now). A negative delay
+// is treated as zero. The returned Event may be used to cancel the call.
+func (k *Kernel) Schedule(delay time.Duration, name string, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.ScheduleAt(k.now+delay, name, fn)
+}
+
+// ScheduleAt queues fn to run at absolute simulated time at. Times in the
+// past are clamped to Now.
+func (k *Kernel) ScheduleAt(at time.Duration, name string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil fn")
+	}
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	e := &Event{At: at, Name: name, Fn: fn, seq: k.seq}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// StopNow aborts the current Run after the in-flight event returns.
+func (k *Kernel) StopNow() { k.stopped = true }
+
+// Step executes the single earliest pending event, skipping canceled ones.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.At
+		k.ran++
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the queue is empty or simulated time
+// would pass until. The clock is left at until if the horizon was reached
+// with events still pending, or at the last executed event otherwise.
+// Run returns ErrStopped if StopNow was called during an event.
+func (k *Kernel) Run(until time.Duration) error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.At > until {
+			k.now = until
+			return nil
+		}
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return nil
+}
+
+// RunAll executes every pending event regardless of horizon. maxEvents
+// bounds runaway self-rescheduling loops; it returns an error when the
+// bound is hit.
+func (k *Kernel) RunAll(maxEvents int) error {
+	for i := 0; ; i++ {
+		if i >= maxEvents {
+			return fmt.Errorf("sim: RunAll exceeded %d events at t=%s", maxEvents, k.now)
+		}
+		if k.stopped {
+			return ErrStopped
+		}
+		if !k.Step() {
+			return nil
+		}
+	}
+}
+
+// Every schedules fn to run now+interval, then repeatedly every interval,
+// until the returned Ticker is stopped. Jitter, if positive, adds a uniform
+// random offset in [0, jitter) to each firing so that periodic sources do
+// not phase-lock artificially.
+func (k *Kernel) Every(interval, jitter time.Duration, name string, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every requires a positive interval")
+	}
+	t := &Ticker{kernel: k, interval: interval, jitter: jitter, name: name, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker is a repeating scheduled callback created by Kernel.Every.
+type Ticker struct {
+	kernel   *Kernel
+	interval time.Duration
+	jitter   time.Duration
+	name     string
+	fn       func()
+	pending  *Event
+	stopped  bool
+	fires    int
+}
+
+func (t *Ticker) arm() {
+	d := t.interval
+	if t.jitter > 0 {
+		d += time.Duration(t.kernel.rng.Int63n(int64(t.jitter)))
+	}
+	t.pending = t.kernel.Schedule(d, t.name, func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. It is safe to call from inside the callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.pending.Cancel()
+}
+
+// Fires returns how many times the ticker's callback has run.
+func (t *Ticker) Fires() int { return t.fires }

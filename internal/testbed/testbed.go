@@ -1,0 +1,317 @@
+// Package testbed assembles the full simulated smart home: the Table I
+// device fleet on a netsim network behind a NAT gateway, the service-layer
+// cloud with its automations, DNS, the OTA pipeline, and attacker
+// footholds. Examples, experiments, the attack suite and the XLF facade
+// all build on this one wiring.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"xlf/internal/attack"
+	"xlf/internal/channel"
+	"xlf/internal/device"
+	"xlf/internal/lwc"
+	"xlf/internal/netsim"
+	"xlf/internal/service"
+	"xlf/internal/sim"
+)
+
+// Config selects testbed variants.
+type Config struct {
+	Seed int64
+	// Flaws enables the vulnerable platform configuration (the "before
+	// XLF" world).
+	Flaws service.Flaws
+	// ResolverMode is "DNS" (cleartext) or "DoT".
+	ResolverMode string
+	// KeepaliveEvery sets device cloud chatter cadence (0 = 20s).
+	KeepaliveEvery time.Duration
+	// SignedOTASeed seeds the vendor OTA key (32 bytes used).
+	SignedOTASeed byte
+	// LightweightEncryption establishes an XLF channel session per device
+	// (the §IV-A2 function): keepalive and event payloads are sealed with
+	// the device's negotiated Table III cipher and battery-metered.
+	LightweightEncryption bool
+}
+
+// Home is the assembled testbed.
+type Home struct {
+	Kernel   *sim.Kernel
+	Net      *netsim.Network
+	Gateway  *netsim.Gateway
+	Resolver *netsim.Resolver
+	DNS      *netsim.DNSServer
+	Cloud    *service.Cloud
+	OTA      *service.OTAPipeline
+	Devices  map[string]*device.Device
+
+	// LANCap and WANCap record traffic at the two tap points.
+	LANCap *netsim.Capture
+	WANCap *netsim.Capture
+
+	// CloudAddrOf maps vendor domain -> WAN address.
+	CloudAddrOf map[string]netsim.Addr
+
+	// Sessions holds per-device lightweight-encryption sessions
+	// (device side) when Config.LightweightEncryption is set; devices
+	// whose hardware affords no cipher are absent.
+	Sessions map[string]*channel.Session
+	// GatewaySessions are the core-side peers of Sessions.
+	GatewaySessions map[string]*channel.Session
+}
+
+// New builds the standard home with the full device catalog.
+func New(cfg Config) (*Home, error) {
+	if cfg.ResolverMode == "" {
+		cfg.ResolverMode = "DNS"
+	}
+	if cfg.KeepaliveEvery <= 0 {
+		cfg.KeepaliveEvery = 20 * time.Second
+	}
+
+	k := sim.NewKernel(cfg.Seed)
+	n := netsim.New(k)
+	h := &Home{
+		Kernel:          k,
+		Net:             n,
+		Gateway:         netsim.NewGateway("lan:gw", "wan:home"),
+		Devices:         make(map[string]*device.Device),
+		LANCap:          netsim.NewCapture(),
+		WANCap:          netsim.NewCapture(),
+		CloudAddrOf:     make(map[string]netsim.Addr),
+		Sessions:        make(map[string]*channel.Session),
+		GatewaySessions: make(map[string]*channel.Session),
+	}
+	h.Cloud = service.NewCloud(cfg.Flaws, k.Now)
+
+	seed := make([]byte, 32)
+	for i := range seed {
+		seed[i] = cfg.SignedOTASeed + byte(i)
+	}
+	ota, err := service.NewOTAPipeline(h.Cloud, seed)
+	if err != nil {
+		return nil, err
+	}
+	h.OTA = ota
+
+	if err := n.Attach(h.Gateway, netsim.DefaultLAN()); err != nil {
+		return nil, err
+	}
+	if err := n.Attach(h.Gateway.WANNode(), netsim.DefaultWAN()); err != nil {
+		return nil, err
+	}
+	n.AddTap(netsim.TapLAN, h.LANCap.Tap())
+	n.AddTap(netsim.TapWAN, h.WANCap.Tap())
+
+	// Devices + their vendor cloud endpoints + DNS records.
+	var records []netsim.DNSRecord
+	for _, d := range device.Catalog() {
+		if err := h.addDevice(d, cfg); err != nil {
+			return nil, err
+		}
+		for _, dom := range d.CloudDomains {
+			if _, ok := h.CloudAddrOf[dom]; ok {
+				continue
+			}
+			addr := netsim.Addr("wan:" + dom)
+			h.CloudAddrOf[dom] = addr
+			records = append(records, netsim.DNSRecord{Name: dom, Addr: addr, TTL: 5 * time.Minute})
+			if err := n.Attach(&netsim.FuncNode{Address: addr}, netsim.DefaultWAN()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	h.DNS = netsim.NewDNSServer("wan:dns", records)
+	if err := n.Attach(h.DNS, netsim.DefaultWAN()); err != nil {
+		return nil, err
+	}
+	h.Resolver = netsim.NewResolver("lan:resolver", "wan:dns", cfg.ResolverMode)
+	if err := n.Attach(h.Resolver, netsim.DefaultLAN()); err != nil {
+		return nil, err
+	}
+
+	// Attacker footholds.
+	if err := n.Attach(&netsim.FuncNode{Address: "wan:attacker"}, netsim.DefaultWAN()); err != nil {
+		return nil, err
+	}
+	if err := n.Attach(&netsim.FuncNode{Address: "lan:attacker"}, netsim.DefaultLAN()); err != nil {
+		return nil, err
+	}
+	if err := n.Attach(&netsim.FuncNode{Address: "wan:cnc"}, netsim.DefaultWAN()); err != nil {
+		return nil, err
+	}
+	if err := n.Attach(&netsim.FuncNode{Address: "wan:victim"}, netsim.DefaultWAN()); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// addDevice attaches a catalog device to the network and registers it with
+// the cloud.
+func (h *Home) addDevice(d *device.Device, cfg Config) error {
+	h.Devices[d.ID] = d
+	lanAddr := netsim.Addr("lan:" + d.ID)
+
+	node := &netsim.FuncNode{Address: lanAddr, Fn: func(n *netsim.Network, pkt *netsim.Packet) {
+		// Devices accept legitimate commands delivered by the cloud path
+		// ("cmd:<name>"); everything else is attack traffic acting on the
+		// device model directly.
+		if len(pkt.App) > 4 && pkt.App[:4] == "cmd:" {
+			name := pkt.App[4:]
+			if err := d.Apply(name); err == nil {
+				// State change acknowledged to the cloud as an event.
+				h.Cloud.PublishDeviceEvent(d.ID, name, 0)
+			}
+		}
+	}}
+	link := netsim.DefaultLAN()
+	if d.Profile.Kind == "sensor" {
+		link = netsim.DefaultZigbee()
+	}
+	if err := h.Net.Attach(node, link); err != nil {
+		return err
+	}
+
+	// Cloud handler: delivering a command sends a packet down to the
+	// device and applies it on arrival.
+	caps := map[string]string{
+		"on": "switch", "off": "switch", "dim": "level",
+		"open": "lock", "close": "lock", "unlock": "lock", "lock": "lock",
+		"heat": "thermostat", "cool": "thermostat",
+		"record": "camera", "disable": "camera", "enable": "camera",
+		"brew": "brew", "preheat": "oven",
+	}
+	handler := &service.DeviceHandler{
+		ID:           d.ID,
+		Caps:         d.Caps,
+		CapOfCommand: caps,
+		Deliver: func(cmd service.Command) error {
+			h.Net.Send(&netsim.Packet{
+				Src: "lan:gw", Dst: lanAddr, SrcPort: 443, DstPort: 8443,
+				Proto: "TLS", Encrypted: true, Size: 160,
+				App: "cmd:" + cmd.Name,
+			})
+			return nil
+		},
+	}
+	if err := h.Cloud.RegisterDevice(handler); err != nil {
+		return err
+	}
+
+	// OTA flash path: verified images update the device model.
+	// (Installed once; closure captures the map lookup per call.)
+	if h.OTA.Flash == nil {
+		h.OTA.Flash = func(deviceID string, img service.OTAImage) error {
+			t, ok := h.Devices[deviceID]
+			if !ok {
+				return fmt.Errorf("testbed: flash target %q missing", deviceID)
+			}
+			t.Firmware = device.Firmware{
+				Version: img.Version, Hash: img.Fingerprint,
+				Signed: len(img.Signature) > 0, BuildData: img.Data,
+				Tampered: len(img.Signature) == 0,
+			}
+			return nil
+		}
+	}
+
+	// Lightweight-encryption session (§IV-A2): the device seals its
+	// payloads with the negotiated cipher; the gateway holds the peer.
+	if cfg.LightweightEncryption {
+		reg := lwc.NewRegistry()
+		key := []byte("xlf-pairing-" + d.ID)
+		if devSess, err := channel.ForDevice(d, reg, key); err == nil {
+			h.Sessions[d.ID] = devSess
+			// The gateway derives the identical session from the same
+			// pairing key and the device's profile (unmetered).
+			if gwSess, gerr := channel.ForProfile(d.Profile, reg, key); gerr == nil {
+				h.GatewaySessions[d.ID] = gwSess
+			}
+		}
+	}
+
+	// Periodic cloud keepalive: the vendor chatter every real device
+	// produces, and what the E2 adversary fingerprints.
+	if len(d.CloudDomains) > 0 {
+		dom := d.CloudDomains[0]
+		h.Kernel.Every(cfg.KeepaliveEvery, cfg.KeepaliveEvery/4, d.ID+"-keepalive", func() {
+			pkt := &netsim.Packet{
+				Src: lanAddr, SrcPort: 7443,
+				Dst: netsim.Addr("wan:" + dom), DstPort: 443,
+				Proto: "TLS", Encrypted: true, Size: 180 + len(d.ID)*3,
+				App: "keepalive",
+			}
+			if sess, ok := h.Sessions[d.ID]; ok {
+				sealed, err := sess.Seal([]byte("keepalive:" + d.ID))
+				if err != nil {
+					return // battery exhausted: the device goes dark
+				}
+				pkt.Payload = sealed
+				pkt.Proto = "XLF-LWC"
+			}
+			h.Gateway.SendOut(h.Net, pkt)
+		})
+	}
+	return nil
+}
+
+// UserEvent applies a local user interaction (physically pressing the
+// device), publishing the resulting event to the cloud.
+func (h *Home) UserEvent(deviceID, event string) error {
+	d, ok := h.Devices[deviceID]
+	if !ok {
+		return fmt.Errorf("testbed: unknown device %q", deviceID)
+	}
+	if err := d.Apply(event); err != nil {
+		return err
+	}
+	// Event traffic to the vendor cloud (burst larger than keepalive).
+	if len(d.CloudDomains) > 0 {
+		h.Gateway.SendOut(h.Net, &netsim.Packet{
+			Src: netsim.Addr("lan:" + deviceID), SrcPort: 7443,
+			Dst: netsim.Addr("wan:" + d.CloudDomains[0]), DstPort: 443,
+			Proto: "TLS", Encrypted: true, Size: 900,
+			App: "event:" + event,
+		})
+	}
+	return h.Cloud.PublishDeviceEvent(deviceID, event, 0)
+}
+
+// AttackEnv exposes the testbed to the attack package.
+func (h *Home) AttackEnv() *attack.Env {
+	return &attack.Env{
+		Kernel:      h.Kernel,
+		Net:         h.Net,
+		Gateway:     h.Gateway,
+		Devices:     h.Devices,
+		Cloud:       h.Cloud,
+		OTA:         h.OTA,
+		AttackerWAN: "wan:attacker",
+		AttackerLAN: "lan:attacker",
+	}
+}
+
+// Run advances the simulation to the given horizon.
+func (h *Home) Run(until time.Duration) error {
+	return h.Kernel.Run(until)
+}
+
+// InstallClimateAutomation installs the paper's §IV-C3 automation: open
+// the window when temperature exceeds 80F.
+func (h *Home) InstallClimateAutomation() error {
+	above := 80.0
+	return h.Cloud.InstallApp(&service.SmartApp{
+		ID: "climate-window",
+		Rules: []service.Rule{{
+			TriggerDevice: "thermo-1", TriggerEvent: "temperature", TriggerAbove: &above,
+			ActionDevice: "window-1", ActionCommand: "open",
+		}},
+		Grants: []service.Grant{
+			{DeviceID: "thermo-1", Capability: "temperature"},
+			{DeviceID: "window-1", Capability: "lock"},
+		},
+	})
+}

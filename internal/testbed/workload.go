@@ -1,0 +1,124 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Workload generation: seeded day-in-the-life schedules for the device
+// fleet. Interactions follow a diurnal pattern (quiet nights, morning and
+// evening peaks) so long-horizon experiments exercise realistic benign
+// baselines rather than uniform noise.
+
+// WorkloadConfig tunes the generator.
+type WorkloadConfig struct {
+	// Days is the horizon in simulated days.
+	Days int
+	// Intensity scales interactions per day (1.0 = a typical household,
+	// roughly 40 interactions/day across the fleet).
+	Intensity float64
+}
+
+// ScheduledEvent is one planned benign interaction.
+type ScheduledEvent struct {
+	At     time.Duration
+	Device string
+	Event  string
+}
+
+// dayWeight is the relative interaction rate per hour of day: near-zero at
+// night, peaks at 07-09 and 18-22.
+func dayWeight(hour int) float64 {
+	switch {
+	case hour >= 0 && hour < 6:
+		return 0.05
+	case hour < 9:
+		return 1.6
+	case hour < 17:
+		return 0.5
+	case hour < 22:
+		return 2.0
+	default:
+		return 0.4
+	}
+}
+
+// deviceRoutines lists, per catalog device, the legal event cycles the
+// generator draws from. Each routine is applied as a unit so the device's
+// DFA never rejects a benign interaction.
+func deviceRoutines() map[string][][]string {
+	return map[string][][]string{
+		"bulb-1":    {{"on", "off"}, {"on", "dim", "off"}},
+		"coffee-1":  {{"brew", "done"}},
+		"thermo-1":  {{"heat", "target_reached"}, {"cool", "target_reached"}},
+		"cam-1":     {{"motion", "clear"}},
+		"smoke-1":   {{"test", "clear"}},
+		"cast-1":    {{"cast", "stop"}},
+		"fridge-1":  {{"door_open", "door_close"}, {"defrost", "done"}},
+		"oven-1":    {{"preheat", "ready", "off"}},
+		"window-1":  {{"unlock", "open", "close", "lock"}},
+		"speaker-1": {{"wake", "query", "response", "idle"}},
+	}
+}
+
+// GenerateWorkload plans a benign schedule over the horizon using the
+// home's seeded RNG (deterministic per seed). Events within one routine
+// are spaced 20-90 seconds apart.
+func (h *Home) GenerateWorkload(cfg WorkloadConfig) []ScheduledEvent {
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	if cfg.Intensity <= 0 {
+		cfg.Intensity = 1
+	}
+	rng := h.Kernel.Rand()
+	routines := deviceRoutines()
+	ids := make([]string, 0, len(routines))
+	for id := range routines {
+		if _, ok := h.Devices[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	var out []ScheduledEvent
+	for day := 0; day < cfg.Days; day++ {
+		for hour := 0; hour < 24; hour++ {
+			// Expected routines this hour across the fleet.
+			lambda := dayWeight(hour) * cfg.Intensity * 1.8
+			n := int(lambda)
+			if rng.Float64() < lambda-float64(n) {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				id := ids[rng.Intn(len(ids))]
+				routine := routines[id][rng.Intn(len(routines[id]))]
+				at := time.Duration(day)*24*time.Hour +
+					time.Duration(hour)*time.Hour +
+					time.Duration(rng.Int63n(int64(time.Hour)))
+				for _, ev := range routine {
+					out = append(out, ScheduledEvent{At: at, Device: id, Event: ev})
+					at += time.Duration(20+rng.Int63n(70)) * time.Second
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ScheduleWorkload installs a generated schedule onto the kernel. Events
+// whose device rejects them (already mid-routine from an overlapping
+// schedule) are skipped silently — overlap is realistic and harmless.
+func (h *Home) ScheduleWorkload(events []ScheduledEvent) {
+	for _, e := range events {
+		e := e
+		h.Kernel.Schedule(e.At-h.Kernel.Now(), fmt.Sprintf("workload:%s/%s", e.Device, e.Event), func() {
+			// Best effort: UserEvent fails when an overlapping routine
+			// left the device in a different state; that mirrors real
+			// households and is not an error.
+			_ = h.UserEvent(e.Device, e.Event)
+		})
+	}
+}

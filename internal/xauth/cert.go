@@ -1,0 +1,133 @@
+package xauth
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// X.509-style credentials (§II-B: "the X.509 standard could be adopted to
+// support authentication, for gateways, users, and applications and
+// services"). A minimal profile: one CA, depth-1 chains, ed25519
+// signatures, and a revocation list — enough to mutually authenticate the
+// gateway, the cloud, and third-party services in the testbed without
+// dragging in ASN.1.
+
+// Role restricts what a certificate may authenticate as.
+type Role string
+
+// Certificate roles.
+const (
+	RoleGateway Role = "gateway"
+	RoleCloud   Role = "cloud"
+	RoleService Role = "service"
+	RoleUser    Role = "user"
+)
+
+// Cert is a signed identity binding.
+type Cert struct {
+	Subject   string
+	Role      Role
+	PublicKey ed25519.PublicKey
+	NotBefore time.Duration
+	NotAfter  time.Duration
+	Serial    uint64
+	Signature []byte
+}
+
+// message is the byte string the CA signs.
+func (c *Cert) message() []byte {
+	return []byte(fmt.Sprintf("%s|%s|%x|%d|%d|%d", c.Subject, c.Role, c.PublicKey, c.NotBefore, c.NotAfter, c.Serial))
+}
+
+// Certificate verification errors.
+var (
+	ErrCertExpired   = errors.New("xauth: certificate expired or not yet valid")
+	ErrCertSignature = errors.New("xauth: certificate signature invalid")
+	ErrCertRevoked   = errors.New("xauth: certificate revoked")
+	ErrCertRole      = errors.New("xauth: certificate role mismatch")
+)
+
+// CA is the testbed's certificate authority.
+type CA struct {
+	priv    ed25519.PrivateKey
+	pub     ed25519.PublicKey
+	serial  uint64
+	revoked map[uint64]bool
+}
+
+// NewCA derives a CA deterministically from a 32-byte seed.
+func NewCA(seed []byte) (*CA, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("xauth: CA seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &CA{priv: priv, pub: priv.Public().(ed25519.PublicKey), revoked: make(map[uint64]bool)}, nil
+}
+
+// PublicKey returns the CA verification key that relying parties pin.
+func (ca *CA) PublicKey() ed25519.PublicKey { return ca.pub }
+
+// Issue signs a certificate for a subject key.
+func (ca *CA) Issue(subject string, role Role, pub ed25519.PublicKey, notBefore, notAfter time.Duration) (Cert, error) {
+	if subject == "" {
+		return Cert{}, errors.New("xauth: empty certificate subject")
+	}
+	if len(pub) != ed25519.PublicKeySize {
+		return Cert{}, errors.New("xauth: bad subject public key")
+	}
+	if notAfter <= notBefore {
+		return Cert{}, errors.New("xauth: certificate validity window empty")
+	}
+	ca.serial++
+	c := Cert{
+		Subject: subject, Role: role, PublicKey: pub,
+		NotBefore: notBefore, NotAfter: notAfter, Serial: ca.serial,
+	}
+	c.Signature = ed25519.Sign(ca.priv, c.message())
+	return c, nil
+}
+
+// Revoke adds a certificate to the CA's revocation list.
+func (ca *CA) Revoke(serial uint64) { ca.revoked[serial] = true }
+
+// Revoked reports revocation status (the "CRL" relying parties consult).
+func (ca *CA) Revoked(serial uint64) bool { return ca.revoked[serial] }
+
+// VerifyCert checks a certificate against the CA key, the clock, the
+// expected role ("" = any), and the revocation list (nil = skip).
+func VerifyCert(c Cert, caPub ed25519.PublicKey, now time.Duration, wantRole Role, revoked func(uint64) bool) error {
+	if !ed25519.Verify(caPub, c.message(), c.Signature) {
+		return ErrCertSignature
+	}
+	if now < c.NotBefore || now > c.NotAfter {
+		return ErrCertExpired
+	}
+	if wantRole != "" && c.Role != wantRole {
+		return fmt.Errorf("%w: have %s, want %s", ErrCertRole, c.Role, wantRole)
+	}
+	if revoked != nil && revoked(c.Serial) {
+		return ErrCertRevoked
+	}
+	return nil
+}
+
+// Challenge-response: the holder proves possession of the certified key.
+
+// ProvePossession signs a challenge with the subject's private key.
+func ProvePossession(priv ed25519.PrivateKey, challenge []byte) []byte {
+	return ed25519.Sign(priv, challenge)
+}
+
+// VerifyPossession validates a challenge signature under the certificate's
+// key after the certificate itself verifies.
+func VerifyPossession(c Cert, caPub ed25519.PublicKey, now time.Duration, wantRole Role, revoked func(uint64) bool, challenge, sig []byte) error {
+	if err := VerifyCert(c, caPub, now, wantRole, revoked); err != nil {
+		return err
+	}
+	if !ed25519.Verify(c.PublicKey, challenge, sig) {
+		return errors.New("xauth: possession proof invalid")
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package xauth
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA(bytes.Repeat([]byte{1}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func subjectKey(seed byte) (ed25519.PublicKey, ed25519.PrivateKey) {
+	priv := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{seed}, 32))
+	return priv.Public().(ed25519.PublicKey), priv
+}
+
+func TestCAIssueAndVerify(t *testing.T) {
+	ca := testCA(t)
+	pub, _ := subjectKey(2)
+	c, err := ca.Issue("gw-1", RoleGateway, pub, 0, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCert(c, ca.PublicKey(), time.Hour, RoleGateway, ca.Revoked); err != nil {
+		t.Errorf("valid cert rejected: %v", err)
+	}
+	// Any-role check.
+	if err := VerifyCert(c, ca.PublicKey(), time.Hour, "", nil); err != nil {
+		t.Errorf("any-role rejected: %v", err)
+	}
+}
+
+func TestCertExpiryWindow(t *testing.T) {
+	ca := testCA(t)
+	pub, _ := subjectKey(2)
+	c, _ := ca.Issue("gw-1", RoleGateway, pub, time.Hour, 2*time.Hour)
+	if err := VerifyCert(c, ca.PublicKey(), 30*time.Minute, RoleGateway, nil); !errors.Is(err, ErrCertExpired) {
+		t.Errorf("not-yet-valid err = %v", err)
+	}
+	if err := VerifyCert(c, ca.PublicKey(), 3*time.Hour, RoleGateway, nil); !errors.Is(err, ErrCertExpired) {
+		t.Errorf("expired err = %v", err)
+	}
+}
+
+func TestCertTamperAndWrongCA(t *testing.T) {
+	ca := testCA(t)
+	pub, _ := subjectKey(2)
+	c, _ := ca.Issue("gw-1", RoleGateway, pub, 0, time.Hour)
+
+	evil := c
+	evil.Subject = "gw-evil"
+	if err := VerifyCert(evil, ca.PublicKey(), time.Minute, RoleGateway, nil); !errors.Is(err, ErrCertSignature) {
+		t.Errorf("tampered subject err = %v", err)
+	}
+	roleUp := c
+	roleUp.Role = RoleCloud
+	if err := VerifyCert(roleUp, ca.PublicKey(), time.Minute, "", nil); !errors.Is(err, ErrCertSignature) {
+		t.Errorf("tampered role err = %v", err)
+	}
+	otherCA, _ := NewCA(bytes.Repeat([]byte{9}, 32))
+	if err := VerifyCert(c, otherCA.PublicKey(), time.Minute, RoleGateway, nil); !errors.Is(err, ErrCertSignature) {
+		t.Errorf("wrong CA err = %v", err)
+	}
+}
+
+func TestCertRoleEnforcement(t *testing.T) {
+	ca := testCA(t)
+	pub, _ := subjectKey(2)
+	c, _ := ca.Issue("app-1", RoleService, pub, 0, time.Hour)
+	if err := VerifyCert(c, ca.PublicKey(), time.Minute, RoleGateway, nil); !errors.Is(err, ErrCertRole) {
+		t.Errorf("role mismatch err = %v", err)
+	}
+}
+
+func TestCertRevocation(t *testing.T) {
+	ca := testCA(t)
+	pub, _ := subjectKey(2)
+	c, _ := ca.Issue("gw-1", RoleGateway, pub, 0, time.Hour)
+	ca.Revoke(c.Serial)
+	if err := VerifyCert(c, ca.PublicKey(), time.Minute, RoleGateway, ca.Revoked); !errors.Is(err, ErrCertRevoked) {
+		t.Errorf("revoked err = %v", err)
+	}
+}
+
+func TestPossessionProof(t *testing.T) {
+	ca := testCA(t)
+	pub, priv := subjectKey(2)
+	c, _ := ca.Issue("gw-1", RoleGateway, pub, 0, time.Hour)
+	challenge := []byte("nonce-12345")
+	sig := ProvePossession(priv, challenge)
+	if err := VerifyPossession(c, ca.PublicKey(), time.Minute, RoleGateway, ca.Revoked, challenge, sig); err != nil {
+		t.Errorf("valid possession rejected: %v", err)
+	}
+	// The wrong private key (stolen cert, no key) fails.
+	_, wrongPriv := subjectKey(3)
+	badSig := ProvePossession(wrongPriv, challenge)
+	if err := VerifyPossession(c, ca.PublicKey(), time.Minute, RoleGateway, ca.Revoked, challenge, badSig); err == nil {
+		t.Error("possession proof with wrong key accepted")
+	}
+	// Replayed signature over a different challenge fails.
+	if err := VerifyPossession(c, ca.PublicKey(), time.Minute, RoleGateway, ca.Revoked, []byte("other"), sig); err == nil {
+		t.Error("replayed proof accepted")
+	}
+}
+
+func TestIssueValidation(t *testing.T) {
+	ca := testCA(t)
+	pub, _ := subjectKey(2)
+	if _, err := ca.Issue("", RoleGateway, pub, 0, time.Hour); err == nil {
+		t.Error("empty subject accepted")
+	}
+	if _, err := ca.Issue("x", RoleGateway, []byte("short"), 0, time.Hour); err == nil {
+		t.Error("bad key accepted")
+	}
+	if _, err := ca.Issue("x", RoleGateway, pub, time.Hour, time.Hour); err == nil {
+		t.Error("empty validity accepted")
+	}
+	if _, err := NewCA([]byte("short")); err == nil {
+		t.Error("short CA seed accepted")
+	}
+	// Serials increment.
+	a, _ := ca.Issue("a", RoleUser, pub, 0, time.Hour)
+	b, _ := ca.Issue("b", RoleUser, pub, 0, time.Hour)
+	if b.Serial <= a.Serial {
+		t.Error("serials not increasing")
+	}
+}
