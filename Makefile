@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check report
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet runs both the standard toolchain vet and the repository's own
+# cross-layer analyzers (layercheck, determinism, lockcheck, errdrop).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/xlf-vet ./...
+
+fmt:
+	gofmt -w .
+
+# check is the CI gate: formatting, both vets, build, race tests.
+check:
+	sh scripts/check.sh
+
+# report regenerates every paper table and figure.
+report:
+	$(GO) run ./cmd/probe

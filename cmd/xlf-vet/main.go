@@ -1,0 +1,185 @@
+// Command xlf-vet runs the repository's cross-layer static analysis: the
+// XLF layer import DAG, the simulator determinism contract, lock-copy
+// hygiene and error discipline in security-critical packages (see
+// internal/analysis for the rules and DESIGN.md for the architecture
+// table they enforce).
+//
+// Usage:
+//
+//	xlf-vet ./...                    # whole module (the CI gate)
+//	xlf-vet ./internal/exp ./cmd/... # specific packages
+//	xlf-vet -json ./...              # machine-readable findings
+//	xlf-vet -disable lockcheck ./... # drop rules for one run
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors. Diagnostics are printed as "file:line: [rule] message".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xlf/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xlf-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		disable = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop)")
+		root    = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	moduleRoot := *root
+	if moduleRoot == "" {
+		var err error
+		moduleRoot, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+	}
+	pkgs, err := analysis.LoadModule(moduleRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, "xlf-vet:", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, moduleRoot, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "xlf-vet:", err)
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "xlf-vet:", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "xlf-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// selectAnalyzers returns the configured rule set minus the disabled ones.
+func selectAnalyzers(disable string) ([]analysis.Analyzer, error) {
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	var out []analysis.Analyzer
+	for _, a := range analysis.XLFAnalyzers() {
+		if disabled[a.Name()] {
+			delete(disabled, a.Name())
+			continue
+		}
+		out = append(out, a)
+	}
+	for name := range disabled {
+		return nil, fmt.Errorf("unknown rule %q in -disable", name)
+	}
+	return out, nil
+}
+
+// filterPackages keeps the packages matching the command-line patterns:
+// "./..." (everything), "dir/..." (subtree) or plain directory paths,
+// all relative to the module root. No patterns means everything.
+func filterPackages(pkgs []*analysis.Package, root string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	matchers := make([]func(rel string) bool, len(patterns))
+	for i, pat := range patterns {
+		pat = filepath.ToSlash(filepath.Clean(pat))
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "..." || pat == ".":
+			matchers[i] = func(string) bool { return true }
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			matchers[i] = func(rel string) bool {
+				return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+			}
+		default:
+			pat := pat
+			matchers[i] = func(rel string) bool { return rel == pat }
+		}
+	}
+	matched := make([]bool, len(patterns))
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		keep := false
+		for i, match := range matchers {
+			if match(rel) {
+				matched[i] = true
+				keep = true
+			}
+		}
+		if keep {
+			out = append(out, pkg)
+		}
+	}
+	for i, ok := range matched {
+		if !ok {
+			return nil, fmt.Errorf("pattern %q matched no packages", patterns[i])
+		}
+	}
+	return out, nil
+}

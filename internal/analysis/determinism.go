@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AllowWallclockMarker is the escape-hatch annotation for genuine
+// benchmark timing inside deterministic packages.
+const AllowWallclockMarker = "xlf:allow-wallclock"
+
+// Determinism enforces the simulator's reproduction contract: inside
+// simulation/experiment packages, nothing may read the wall clock
+// (time.Now, time.Since) or draw from the global math/rand generator —
+// randomness must come from an injected seeded *rand.Rand and timing from
+// an injected clock, so that the same seed replays bit-identically.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are exempt: they
+// are how seeded generators are built. A //xlf:allow-wallclock comment on
+// (or directly above) the offending line, or in the enclosing function's
+// doc comment, waives the rule for sanctioned measurement code.
+//
+// Test files are exempt: tests may time themselves freely.
+type Determinism struct {
+	// Packages lists the import paths (exact, or "prefix/..." patterns)
+	// the contract applies to.
+	Packages []string
+}
+
+// NewDeterminism builds the analyzer for the given package set.
+func NewDeterminism(packages []string) *Determinism {
+	return &Determinism{Packages: packages}
+}
+
+// Name implements Analyzer.
+func (d *Determinism) Name() string { return "determinism" }
+
+// applies reports whether the contract covers importPath.
+func (d *Determinism) applies(importPath string) bool {
+	for _, p := range d.Packages {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+				return true
+			}
+		} else if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors build seeded generators and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Check implements Analyzer.
+func (d *Determinism) Check(pkg *Package) []Finding {
+	if !d.applies(pkg.ImportPath) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		timeName, hasTime := importName(f.AST, "time")
+		randName, hasRand := importName(f.AST, "math/rand")
+		randV2Name, hasRandV2 := importName(f.AST, "math/rand/v2")
+		if !hasTime && !hasRand && !hasRandV2 {
+			continue
+		}
+		allowed := allowedLines(pkg.Fset, f.AST, AllowWallclockMarker)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			line := pkg.Fset.Position(call.Pos()).Line
+			if allowed[line] {
+				return true
+			}
+			switch {
+			case hasTime && recv.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+				out = append(out, pkg.finding(d.Name(), call.Pos(),
+					"wall-clock read time.%s in deterministic package %s; inject a clock (or annotate //%s)",
+					sel.Sel.Name, pkg.ImportPath, AllowWallclockMarker))
+			case hasRand && recv.Name == randName && !randConstructors[sel.Sel.Name],
+				hasRandV2 && recv.Name == randV2Name && !randConstructors[sel.Sel.Name]:
+				out = append(out, pkg.finding(d.Name(), call.Pos(),
+					"global math/rand.%s in deterministic package %s; draw from an injected seeded *rand.Rand",
+					sel.Sel.Name, pkg.ImportPath))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+var _ Analyzer = (*Determinism)(nil)

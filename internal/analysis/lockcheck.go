@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// LockCheck flags lock-by-value mistakes the compiler accepts silently: a
+// sync.Mutex (or a struct holding one, directly or transitively through
+// same-package value fields) that is passed, returned, or used as a method
+// receiver by value. A copied mutex guards nothing — two goroutines each
+// lock their own copy and the race detector only catches it if the
+// schedule cooperates, so the mistake is banned statically.
+//
+// The check is AST-only (no type information): lock-holder struct types
+// are resolved by name within the package under analysis, plus the
+// sync.Mutex/sync.RWMutex spellings themselves. Test files are included;
+// a racy test is still a race.
+type LockCheck struct{}
+
+// NewLockCheck builds the analyzer.
+func NewLockCheck() *LockCheck { return &LockCheck{} }
+
+// Name implements Analyzer.
+func (l *LockCheck) Name() string { return "lockcheck" }
+
+// isSyncLock reports whether expr spells sync.Mutex or sync.RWMutex,
+// given the file's import name for "sync".
+func isSyncLock(expr ast.Expr, syncName string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || recv.Name != syncName {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// lockHolders resolves the package's lock-holder struct type names: any
+// struct with a value field (named or embedded) of sync.Mutex/RWMutex or
+// of another lock-holder type. Runs to a fixpoint so nesting is covered.
+func lockHolders(pkg *Package) map[string]bool {
+	type structDecl struct {
+		name     string
+		fields   *ast.FieldList
+		syncName string
+	}
+	var structs []structDecl
+	for _, f := range pkg.Files {
+		syncName, hasSync := importName(f.AST, "sync")
+		if !hasSync {
+			syncName = "sync" // still resolves same-package holder nesting
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			structs = append(structs, structDecl{ts.Name.Name, st.Fields, syncName})
+			return true
+		})
+	}
+	holders := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, s := range structs {
+			if holders[s.name] || s.fields == nil {
+				continue
+			}
+			for _, field := range s.fields.List {
+				if isSyncLock(field.Type, s.syncName) {
+					holders[s.name] = true
+					changed = true
+					break
+				}
+				if id, ok := field.Type.(*ast.Ident); ok && holders[id.Name] {
+					holders[s.name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return holders
+}
+
+// Check implements Analyzer.
+func (l *LockCheck) Check(pkg *Package) []Finding {
+	holders := lockHolders(pkg)
+	var out []Finding
+	for _, f := range pkg.Files {
+		syncName, hasSync := importName(f.AST, "sync")
+		byValueLock := func(expr ast.Expr) (string, bool) {
+			if hasSync && isSyncLock(expr, syncName) {
+				return "sync lock", true
+			}
+			if id, ok := expr.(*ast.Ident); ok && holders[id.Name] {
+				return "struct " + id.Name + " (contains a sync lock)", true
+			}
+			return "", false
+		}
+		checkFieldList := func(fl *ast.FieldList, what, fn string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				if desc, ok := byValueLock(field.Type); ok {
+					out = append(out, pkg.finding(l.Name(), field.Type.Pos(),
+						"%s of %s copies %s by value; pass a pointer", what, fn, desc))
+				}
+			}
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil {
+				for _, field := range fd.Recv.List {
+					if desc, ok := byValueLock(field.Type); ok {
+						out = append(out, pkg.finding(l.Name(), field.Type.Pos(),
+							"method %s has a value receiver of %s; locking a copy guards nothing, use a pointer receiver", name, desc))
+					}
+				}
+			}
+			checkFieldList(fd.Type.Params, "parameter", name)
+			checkFieldList(fd.Type.Results, "result", name)
+		}
+	}
+	return out
+}
+
+var _ Analyzer = (*LockCheck)(nil)

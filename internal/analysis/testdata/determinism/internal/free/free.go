@@ -1,0 +1,11 @@
+// Package free is a determinism fixture OUTSIDE the covered package set:
+// wall-clock reads here are legal and must produce no findings.
+package free
+
+import "time"
+
+// Uptime may read the wall clock; this package is not a simulation path.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+// Stamp returns the current wall time.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,34 @@
+// Package xauth is an errdrop fixture: discarding an error from a
+// same-package function or method is a finding unless waived.
+package xauth
+
+import "errors"
+
+// Verify models a signature check whose error is the security outcome.
+func Verify() error { return errors.New("bad signature") }
+
+// Token models a credential.
+type Token struct{}
+
+// Validate models a credential check.
+func (Token) Validate() error { return nil }
+
+// log returns nothing; calling it as a statement is fine.
+func log(string) {}
+
+func use(t Token) error {
+	Verify()     // want "\[errdrop\] error from Verify discarded"
+	t.Validate() // want "\[errdrop\] error from Validate discarded"
+	_ = Verify() // want "\[errdrop\] error from Verify assigned only to blanks"
+
+	Verify() //xlf:allow-droperr probe call; outcome intentionally unused
+
+	log("checked")
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	err := Verify()
+	return err
+}
+
+var _ = use

@@ -1,0 +1,12 @@
+// Package device is a layercheck fixture: the test's table grants it only
+// internal/lwc, so the service-layer import below is a violation.
+package device
+
+import (
+	"fmt"
+
+	"example.com/m/internal/lwc"
+	"example.com/m/internal/service" // want "\[layercheck\] layer violation: internal/device may not import internal/service"
+)
+
+var _ = fmt.Sprint(lwc.Registry{}, service.Cloud{})

@@ -1,0 +1,10 @@
+// Package lwc is a layercheck fixture leaf: declared in the table with no
+// granted edges, and importing only the stdlib, so it stays clean.
+package lwc
+
+import "fmt"
+
+// Registry is referenced by the device fixture.
+type Registry struct{}
+
+var _ = fmt.Sprint(Registry{})

@@ -1,0 +1,3 @@
+// Package rogue is a layercheck fixture: it does not appear in the layer
+// table at all, which is itself a finding.
+package rogue // want "\[layercheck\] package example.com/m/internal/rogue is not declared in the layer table"

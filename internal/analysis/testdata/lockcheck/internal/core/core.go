@@ -1,0 +1,51 @@
+// Package core is a lockcheck fixture: structs holding sync locks
+// (directly or through nesting) must move by pointer.
+package core
+
+import "sync"
+
+// Guarded holds a mutex directly.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Embedded embeds one.
+type Embedded struct {
+	sync.RWMutex
+	n int
+}
+
+// Nested holds a lock-holder by value, which transitively makes it one.
+type Nested struct {
+	g Guarded
+}
+
+// Clean holds no lock and may be copied freely.
+type Clean struct{ n int }
+
+func (g Guarded) badReceiver() int { return g.n } // want "\[lockcheck\] method badReceiver has a value receiver of struct Guarded"
+
+func (g *Guarded) goodReceiver() int { return g.n }
+
+func (n Nested) badNestedReceiver() {} // want "\[lockcheck\] method badNestedReceiver has a value receiver of struct Nested"
+
+func (c Clean) fineReceiver() int { return c.n }
+
+func badParam(g Guarded) {} // want "\[lockcheck\] parameter of badParam copies struct Guarded"
+
+func badMutexParam(mu sync.Mutex) { mu.Lock() } // want "\[lockcheck\] parameter of badMutexParam copies sync lock"
+
+func badResult() Embedded { return Embedded{} } // want "\[lockcheck\] result of badResult copies struct Embedded"
+
+func goodParam(g *Guarded) {}
+
+func goodResult() *Guarded { return &Guarded{} }
+
+func fineParam(c Clean) {}
+
+var _ = []any{
+	(Guarded).badReceiver, (*Guarded).goodReceiver, (Nested).badNestedReceiver,
+	(Clean).fineReceiver, badParam, badMutexParam, badResult, goodParam,
+	goodResult, fineParam,
+}

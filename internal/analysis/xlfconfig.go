@@ -1,0 +1,125 @@
+package analysis
+
+// This file is the one table the ISSUE/DESIGN architecture lives in: the
+// XLF layer DAG plus the package sets the determinism and errdrop
+// contracts cover. cmd/xlf-vet and the CI gate both consume XLFAnalyzers;
+// changing the architecture means changing this table in the same commit.
+
+// XLFModule is the module path the rules apply to.
+const XLFModule = "xlf"
+
+// XLFLayerTable is DESIGN.md §2 compiled into data: every package's
+// complete set of allowed intra-module imports (module-relative; "." is
+// the root xlf facade package, "*" grants everything). The shape encodes
+// the XLF layering:
+//
+//   - substrates (sim, metrics, proto, lwc, ml) import nothing;
+//   - layer functions import only their own substrate — device-layer
+//     packages (device, channel) never see service-layer ones (service,
+//     xauth, analytics) and vice versa;
+//   - only the XLF Core and the root facade couple layers;
+//   - harnesses (attack, testbed, exp) sit above the layers;
+//   - internal packages never import cmd/* or examples/* (no entry
+//     grants them, so the DAG forbids it structurally).
+var XLFLayerTable = map[string][]string{
+	// Root facade: assembles every layer around the Core.
+	".": {
+		"internal/analytics", "internal/behavior", "internal/core",
+		"internal/dpi", "internal/ids", "internal/netsim",
+		"internal/service", "internal/shaping", "internal/testbed",
+		"internal/xauth",
+	},
+
+	// Substrates: leaves of the DAG.
+	"internal/sim":     {},
+	"internal/metrics": {},
+	"internal/proto":   {},
+	"internal/lwc":     {},
+	"internal/ml":      {},
+
+	// Device layer.
+	"internal/device":  {"internal/lwc"},
+	"internal/channel": {"internal/device", "internal/lwc"},
+
+	// Network layer.
+	"internal/netsim":  {"internal/sim"},
+	"internal/dnsp":    {"internal/lwc", "internal/netsim"},
+	"internal/ids":     {"internal/netsim"},
+	"internal/shaping": {"internal/netsim", "internal/sim"},
+	"internal/dpi":     {},
+	// behavior watches device DFAs over network traces: it may read both.
+	"internal/behavior": {"internal/device", "internal/netsim"},
+
+	// Service layer.
+	"internal/xauth":     {},
+	"internal/service":   {"internal/lwc", "internal/xauth"},
+	"internal/analytics": {},
+
+	// The XLF Core: the only layer-coupling component besides the facade.
+	"internal/core": {"internal/netsim"},
+
+	// Harnesses above the layers.
+	"internal/attack": {
+		"internal/device", "internal/netsim", "internal/service",
+		"internal/sim",
+	},
+	"internal/testbed": {
+		"internal/attack", "internal/channel", "internal/device",
+		"internal/lwc", "internal/netsim", "internal/service",
+		"internal/sim",
+	},
+	"internal/exp": {
+		".", "internal/analytics", "internal/attack", "internal/behavior",
+		"internal/channel", "internal/core", "internal/device",
+		"internal/dnsp", "internal/dpi", "internal/lwc",
+		"internal/metrics", "internal/ml", "internal/netsim",
+		"internal/proto", "internal/service", "internal/shaping",
+		"internal/sim", "internal/testbed", "internal/xauth",
+	},
+
+	// Tooling: the analyzers import nothing; the driver imports them.
+	"internal/analysis": {},
+
+	// Binaries and examples: leaves at the top of the DAG.
+	"cmd/probe":      {"internal/exp"},
+	"cmd/xlf-attack": {".", "internal/attack", "internal/service"},
+	"cmd/xlf-bench":  {"internal/exp"},
+	"cmd/xlf-sim":    {".", "internal/analytics", "internal/attack", "internal/service"},
+	"cmd/xlf-vet":    {"internal/analysis"},
+
+	"examples/botnet":         {".", "internal/attack", "internal/netsim", "internal/service"},
+	"examples/quickstart":     {".", "internal/attack", "internal/service"},
+	"examples/smarthome":      {".", "internal/analytics", "internal/attack", "internal/service"},
+	"examples/trafficprivacy": {"internal/netsim", "internal/shaping", "internal/sim"},
+}
+
+// XLFDeterministicPackages are the simulation/experiment reproduction
+// paths: no wall-clock reads, no global math/rand (DESIGN.md §5).
+var XLFDeterministicPackages = []string{
+	"xlf",
+	"xlf/internal/attack",
+	"xlf/internal/exp",
+	"xlf/internal/netsim",
+	"xlf/internal/shaping",
+	"xlf/internal/sim",
+	"xlf/internal/testbed",
+}
+
+// XLFSecurityPackages are the packages where a dropped error converts a
+// security failure into silent success.
+var XLFSecurityPackages = []string{
+	"xlf/internal/channel",
+	"xlf/internal/dnsp",
+	"xlf/internal/lwc",
+	"xlf/internal/xauth",
+}
+
+// XLFAnalyzers returns the full rule set configured for this repository.
+func XLFAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewLayerCheck(XLFModule, XLFLayerTable),
+		NewDeterminism(XLFDeterministicPackages),
+		NewLockCheck(),
+		NewErrDrop(XLFSecurityPackages),
+	}
+}

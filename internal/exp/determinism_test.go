@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// envFor returns an environment whose clock is fake, so timed sections
+// (Table III throughput, the E4 matching paths) report fixed durations and
+// the rendered output carries no wall-clock noise.
+func envFor(seed int64) *Env {
+	return &Env{Seed: seed, Clock: StepClock(time.Millisecond)}
+}
+
+// TestExperimentsDeterministic is the reproduction contract made a
+// regression test: the same seed and a fake clock must render each
+// experiment byte-identically across runs.
+func TestExperimentsDeterministic(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(env *Env) *Result
+	}{
+		{"T3", Table3Env},
+		{"E3", E3AuthEnv},
+		{"E4", E4DPIEnv},
+		{"E5", E5BehaviorEnv},
+		{"E6", E6LearningEnv},
+	}
+	for _, ex := range experiments {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			a := ex.run(envFor(7)).String()
+			b := ex.run(envFor(7)).String()
+			if a != b {
+				t.Errorf("%s is not deterministic:\n--- first run ---\n%s\n--- second run ---\n%s", ex.name, a, b)
+			}
+		})
+	}
+}
+
+// TestFullReportDeterministic replays the entire report twice. The heavy
+// experiments (T2, E9) make this the longest test in the package, so it
+// yields to -short.
+func TestFullReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-report determinism sweep in -short mode")
+	}
+	a := Render(AllEnv(envFor(3)))
+	b := Render(AllEnv(envFor(3)))
+	if a != b {
+		t.Fatal("full report differs between two runs with the same seed and a fake clock")
+	}
+}
+
+// TestStepClock pins the fake clock's contract: fixed advance per reading.
+func TestStepClock(t *testing.T) {
+	c := StepClock(time.Second)
+	if got := c(); got != time.Second {
+		t.Fatalf("first reading = %v, want 1s", got)
+	}
+	if got := c(); got != 2*time.Second {
+		t.Fatalf("second reading = %v, want 2s", got)
+	}
+	env := &Env{Seed: 1, Clock: StepClock(time.Second)}
+	if el := env.timeSection(func() {}); el != time.Second {
+		t.Fatalf("timeSection elapsed = %v, want 1s", el)
+	}
+}

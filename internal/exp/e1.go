@@ -16,7 +16,11 @@ import (
 // attacks), per-device detection F1 for the device-only, network-only and
 // service-only ablations versus the full cross-layer XLF Core, plus a
 // no-corroboration-bonus ablation of the correlation window.
-func E1CrossLayer(seed int64) *Result {
+func E1CrossLayer(seed int64) *Result { return E1CrossLayerEnv(NewEnv(seed)) }
+
+// E1CrossLayerEnv is E1CrossLayer under an explicit environment.
+func E1CrossLayerEnv(env *Env) *Result {
+	seed := env.Seed
 	r := &Result{ID: "E1", Title: "Cross-layer vs single-layer detection (per-device F1)"}
 
 	type config struct {

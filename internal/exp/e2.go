@@ -14,7 +14,11 @@ import (
 // adversary's device-identification confidence and event-inference
 // precision/recall against the bandwidth overhead and added latency — the
 // §IV-B1 trade-off curve.
-func E2Shaping(seed int64) *Result {
+func E2Shaping(seed int64) *Result { return E2ShapingEnv(NewEnv(seed)) }
+
+// E2ShapingEnv is E2Shaping under an explicit environment.
+func E2ShapingEnv(env *Env) *Result {
+	seed := env.Seed
 	r := &Result{ID: "E2", Title: "Traffic shaping: adversary confidence vs bandwidth overhead"}
 	t := metrics.NewTable("", "Intensity", "Mode", "IdentConf", "EventPrec", "EventRecall", "Overhead", "MeanDelay")
 

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"xlf/internal/device"
@@ -16,7 +15,10 @@ import (
 // delegation proxy across a scaling request mix, reporting mean and p95
 // authentication latency and the on-device cost the baseline imposes on a
 // constrained (Table I bulb-class) device.
-func E3Auth(seed int64) *Result {
+func E3Auth(seed int64) *Result { return E3AuthEnv(NewEnv(seed)) }
+
+// E3AuthEnv is E3Auth under an explicit environment.
+func E3AuthEnv(env *Env) *Result {
 	r := &Result{ID: "E3", Title: "Delegated authentication: XLF proxy vs Barreto baseline"}
 
 	users := make([]xauth.User, 0, 20)
@@ -56,7 +58,7 @@ func E3Auth(seed int64) *Result {
 		DeviceVerify: deviceVerify,
 	})
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := env.Rand()
 	now := time.Hour
 	tokens := make(map[string]xauth.Token)
 	for _, u := range users {

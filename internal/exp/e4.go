@@ -2,8 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
-	"time"
 
 	"xlf/internal/dpi"
 	"xlf/internal/metrics"
@@ -13,7 +11,11 @@ import (
 // matching throughput of plaintext Aho-Corasick versus BlindBox-style
 // searchable-encryption token matching over the same payload corpus, plus
 // detection equivalence between the two paths.
-func E4DPI(seed int64) *Result {
+func E4DPI(seed int64) *Result { return E4DPIEnv(NewEnv(seed)) }
+
+// E4DPIEnv is E4DPI under an explicit environment; all three matching
+// stages are timed on env.Clock.
+func E4DPIEnv(env *Env) *Result {
 	r := &Result{ID: "E4", Title: "Encrypted DPI: plaintext vs searchable-encryption matching"}
 	rs, err := dpi.NewRuleSet(dpi.IoTMalwareRules())
 	if err != nil {
@@ -29,7 +31,7 @@ func E4DPI(seed int64) *Result {
 	}
 
 	// Corpus: benign payloads with signatures planted in ~20%.
-	rng := rand.New(rand.NewSource(seed))
+	rng := env.Rand()
 	const nPayloads = 400
 	payloads := make([][]byte, nPayloads)
 	infected := make([]bool, nPayloads)
@@ -54,32 +56,32 @@ func E4DPI(seed int64) *Result {
 	}
 
 	// Plaintext path.
-	start := time.Now()
 	plainHits := 0
-	for _, p := range payloads {
-		if len(rs.MatchPlain(p)) > 0 {
-			plainHits++
+	plainSec := env.timeSection(func() {
+		for _, p := range payloads {
+			if len(rs.MatchPlain(p)) > 0 {
+				plainHits++
+			}
 		}
-	}
-	plainSec := time.Since(start).Seconds()
+	}).Seconds()
 
 	// Tokenisation cost (endpoint side).
-	start = time.Now()
 	tokens := make([][]uint64, nPayloads)
-	for i, p := range payloads {
-		tokens[i] = tk.Tokenize(p)
-	}
-	tokenizeSec := time.Since(start).Seconds()
+	tokenizeSec := env.timeSection(func() {
+		for i, p := range payloads {
+			tokens[i] = tk.Tokenize(p)
+		}
+	}).Seconds()
 
 	// Encrypted matching (middlebox side).
-	start = time.Now()
 	encHits := 0
-	for _, ts := range tokens {
-		if len(det.MatchTokens(ts)) > 0 {
-			encHits++
+	encSec := env.timeSection(func() {
+		for _, ts := range tokens {
+			if len(det.MatchTokens(ts)) > 0 {
+				encHits++
+			}
 		}
-	}
-	encSec := time.Since(start).Seconds()
+	}).Seconds()
 
 	var conf metrics.Confusion
 	for i := range payloads {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"xlf/internal/behavior"
 	"xlf/internal/device"
@@ -14,7 +13,10 @@ import (
 // fed through the per-device DFA, and spoof-detection F1 as the outcome.
 // The edit-distance threshold is swept as the ablation DESIGN.md calls
 // out.
-func E5Behavior(seed int64) *Result {
+func E5Behavior(seed int64) *Result { return E5BehaviorEnv(NewEnv(seed)) }
+
+// E5BehaviorEnv is E5Behavior under an explicit environment.
+func E5BehaviorEnv(env *Env) *Result {
 	r := &Result{ID: "E5", Title: "Behaviour DFA: spoof detection under fingerprint noise"}
 
 	prints := []behavior.Fingerprint{
@@ -28,7 +30,7 @@ func E5Behavior(seed int64) *Result {
 	t := metrics.NewTable("", "Noise", "Threshold%", "ClassifyAcc", "SpoofPrec", "SpoofRecall", "SpoofF1")
 	for _, noise := range []float64{0, 0.1, 0.2, 0.35} {
 		for _, thr := range []int{20, 40, 60} {
-			acc, conf := runE5(seed, prints, noise, thr)
+			acc, conf := runE5(env, prints, noise, thr)
 			t.AddRow(
 				fmt.Sprintf("%.2f", noise), fmt.Sprint(thr),
 				fmt.Sprintf("%.3f", acc),
@@ -48,12 +50,12 @@ func E5Behavior(seed int64) *Result {
 	return r
 }
 
-func runE5(seed int64, prints []behavior.Fingerprint, noise float64, thresholdPct int) (float64, metrics.Confusion) {
+func runE5(env *Env, prints []behavior.Fingerprint, noise float64, thresholdPct int) (float64, metrics.Confusion) {
 	lib, err := behavior.NewLibrary(prints, thresholdPct, true)
 	if err != nil {
 		panic(err)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := env.Rand()
 
 	bulb := device.NewSmartBulb("bulb")
 	cam := device.NewNetworkCamera("cam")

@@ -12,9 +12,12 @@ import (
 // multi-kernel learning fusing per-layer features (each single kernel vs
 // uniform vs alignment-learned weights), and graph-based community
 // detection over device-behaviour similarity with outlier identification.
-func E6Learning(seed int64) *Result {
+func E6Learning(seed int64) *Result { return E6LearningEnv(NewEnv(seed)) }
+
+// E6LearningEnv is E6Learning under an explicit environment.
+func E6LearningEnv(env *Env) *Result {
 	r := &Result{ID: "E6", Title: "Core learning: MKL fusion and graph community detection"}
-	rng := rand.New(rand.NewSource(seed))
+	rng := env.Rand()
 
 	train := e6Samples(rng, 60)
 	test := e6Samples(rng, 60)

@@ -18,7 +18,11 @@ import (
 // latency, name exposure to observers, off-path poisoning success, and the
 // device-side crypto cost on a Table I bulb-class device (the feasibility
 // argument for the bridge).
-func E7DNS(seed int64) *Result {
+func E7DNS(seed int64) *Result { return E7DNSEnv(NewEnv(seed)) }
+
+// E7DNSEnv is E7DNS under an explicit environment.
+func E7DNSEnv(env *Env) *Result {
+	seed := env.Seed
 	r := &Result{ID: "E7", Title: "DNS privacy: plain vs DoT vs XLF lightweight bridge"}
 	t := metrics.NewTable("", "Mode", "MeanLatency", "NamesVisible", "PoisonSucceeds", "BulbCryptoCost/query")
 

@@ -14,7 +14,11 @@ import (
 // DDoS) against the unprotected home and the XLF home, reporting time to
 // detection, time to containment, C&C beacons escaped, and flood packets
 // delivered to the victim — §III-B's "army" threat end to end.
-func E8Botnet(seed int64) *Result {
+func E8Botnet(seed int64) *Result { return E8BotnetEnv(NewEnv(seed)) }
+
+// E8BotnetEnv is E8Botnet under an explicit environment.
+func E8BotnetEnv(env *Env) *Result {
+	seed := env.Seed
 	r := &Result{ID: "E8", Title: "Botnet campaign: unprotected vs XLF (containment timeline)"}
 	t := metrics.NewTable("", "Home", "Recruited", "DetectedAt", "ContainedAt", "BeaconsEscaped", "FloodPktsDelivered")
 

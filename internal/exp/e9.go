@@ -17,7 +17,11 @@ import (
 // injected midway. It reports the operational numbers a deployment would
 // be judged by — false alerts per benign device-day, detection and
 // containment latency for the campaign, and alert volume.
-func E9Stability(seed int64) *Result {
+func E9Stability(seed int64) *Result { return E9StabilityEnv(NewEnv(seed)) }
+
+// E9StabilityEnv is E9Stability under an explicit environment.
+func E9StabilityEnv(env *Env) *Result {
+	seed := env.Seed
 	r := &Result{ID: "E9", Title: "Long-horizon stability: 3-day household, one campaign"}
 
 	sys, err := xlf.New(xlf.Options{Seed: seed, Flaws: vulnerableFlaws()})

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock supplies monotonic elapsed-time readings for the few experiment
+// sections that measure real execution speed (the Table III throughput
+// column and the E4 DPI matching paths). Experiments never read the wall
+// clock directly: timing flows through the Env, so tests can substitute a
+// deterministic clock and replay an entire report byte-identically.
+type Clock func() time.Duration
+
+// WallClock returns a Clock backed by the process monotonic clock. This is
+// the one sanctioned wall-clock read in the experiment suite; xlf-vet's
+// determinism rule bans any other (see //xlf:allow-wallclock).
+func WallClock() Clock {
+	start := time.Now() //xlf:allow-wallclock benchmark timing source
+	return func() time.Duration {
+		return time.Since(start) //xlf:allow-wallclock benchmark timing source
+	}
+}
+
+// StepClock returns a fake Clock that advances by step on every reading,
+// so each timed section reports the same fixed elapsed time. The
+// determinism regression tests use it to assert that two runs of the same
+// experiment render identical tables.
+func StepClock(step time.Duration) Clock {
+	var now time.Duration
+	return func() time.Duration {
+		now += step
+		return now
+	}
+}
+
+// Env carries everything an experiment depends on besides its inputs: the
+// seed for its random streams and the clock for throughput timing. Every
+// experiment is a pure function of its Env.
+type Env struct {
+	Seed  int64
+	Clock Clock
+}
+
+// NewEnv returns the standard environment: seeded randomness and
+// wall-clock throughput timing.
+func NewEnv(seed int64) *Env { return &Env{Seed: seed, Clock: WallClock()} }
+
+// Rand returns a fresh deterministic generator for the experiment's seed.
+// Each call restarts the stream, so experiments cannot leak RNG state into
+// one another and single-experiment runs match full-suite runs.
+func (e *Env) Rand() *rand.Rand { return rand.New(rand.NewSource(e.Seed)) }
+
+// timeSection runs f and returns its elapsed duration on the env clock.
+func (e *Env) timeSection(f func()) time.Duration {
+	t0 := e.Clock()
+	f()
+	return e.Clock() - t0
+}

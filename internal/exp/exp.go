@@ -63,25 +63,30 @@ func scenarioAttacks() ([]attack.Attack, map[string]bool) {
 	return atks, victims
 }
 
-// All runs every experiment with the given seed, in report order.
-func All(seed int64) []*Result {
+// All runs every experiment with the given seed under the standard
+// environment, in report order.
+func All(seed int64) []*Result { return AllEnv(NewEnv(seed)) }
+
+// AllEnv runs every experiment under env, in report order. With a fake
+// clock (StepClock) the whole report replays byte-identically.
+func AllEnv(env *Env) []*Result {
 	return []*Result{
-		Table1(seed),
-		Table2(seed),
-		Table3(),
+		Table1Env(env),
+		Table2Env(env),
+		Table3Env(env),
 		Figure1(),
 		Figure2(),
 		Figure3(),
 		Figure4(),
-		E1CrossLayer(seed),
-		E2Shaping(seed),
-		E3Auth(seed),
-		E4DPI(seed),
-		E5Behavior(seed),
-		E6Learning(seed),
-		E7DNS(seed),
-		E8Botnet(seed),
-		E9Stability(seed),
+		E1CrossLayerEnv(env),
+		E2ShapingEnv(env),
+		E3AuthEnv(env),
+		E4DPIEnv(env),
+		E5BehaviorEnv(env),
+		E6LearningEnv(env),
+		E7DNSEnv(env),
+		E8BotnetEnv(env),
+		E9StabilityEnv(env),
 	}
 }
 

@@ -20,7 +20,10 @@ import (
 // cheapest Table III cipher that fits, and modeled AES-128 software time —
 // computation, storage and power "limit the security functions that can be
 // implemented on the device".
-func Table1(seed int64) *Result {
+func Table1(seed int64) *Result { return Table1Env(NewEnv(seed)) }
+
+// Table1Env is Table1 under an explicit environment.
+func Table1Env(env *Env) *Result {
 	r := &Result{ID: "T1", Title: "Device-layer components (paper Table I) + crypto feasibility"}
 	reg := lwc.NewRegistry()
 	aes, _ := reg.Lookup("AES")
@@ -116,7 +119,11 @@ func memShort(v int64) string {
 // against the vulnerable home, against the hardened platform (signed OTA,
 // fine-grained grants, signed events), and under the full XLF runtime —
 // reporting the paper's triple plus each outcome.
-func Table2(seed int64) *Result {
+func Table2(seed int64) *Result { return Table2Env(NewEnv(seed)) }
+
+// Table2Env is Table2 under an explicit environment.
+func Table2Env(env *Env) *Result {
+	seed := env.Seed
 	r := &Result{ID: "T2", Title: "Device-layer attack surface (paper Table II), executed"}
 	t := metrics.NewTable("", "Device", "Vulnerability", "Attack", "Impact", "Vulnerable home", "Hardened platform", "XLF detects")
 
@@ -207,7 +214,11 @@ func outcome(res attack.Result) string {
 // Table3 regenerates Table III from the cipher registry and adds measured
 // software throughput for each algorithm (the NIST IR 8114 software
 // metric), which the device cost model consumes.
-func Table3() *Result {
+func Table3() *Result { return Table3Env(NewEnv(1)) }
+
+// Table3Env is Table3 under an explicit environment; the throughput
+// column is timed on env.Clock.
+func Table3Env(env *Env) *Result {
 	r := &Result{ID: "T3", Title: "Lightweight cryptographic algorithms (paper Table III), measured"}
 	reg := lwc.NewRegistry()
 	t := metrics.NewTable("", "Algorithm", "Key Size", "Block", "Structure", "Rounds", "KAT", "MB/s (this host)")
@@ -215,7 +226,7 @@ func Table3() *Result {
 	var fastest string
 	var fastestRate float64
 	for _, info := range reg.All() {
-		rate := measureThroughput(reg, info)
+		rate := measureThroughput(env, info)
 		if rate > fastestRate {
 			fastestRate, fastest = rate, info.Name
 		}
@@ -243,9 +254,10 @@ func keySizes(ks []int) string {
 	return s
 }
 
-// measureThroughput times ~0.5 MB of ECB encryption. Wall-clock use is
-// confined to measurement (never simulation logic).
-func measureThroughput(reg *lwc.Registry, info lwc.Info) float64 {
+// measureThroughput times ~0.5 MB of ECB encryption on the env clock.
+// Wall-clock use is confined to measurement (never simulation logic) and
+// enters only through Env.Clock.
+func measureThroughput(env *Env, info lwc.Info) float64 {
 	key := make([]byte, info.DefaultKeyBits()/8)
 	for i := range key {
 		key[i] = byte(i * 7)
@@ -258,11 +270,11 @@ func measureThroughput(reg *lwc.Registry, info lwc.Info) float64 {
 	buf := make([]byte, bs)
 	const total = 1 << 19
 	iters := total / bs
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		blk.Encrypt(buf, buf)
-	}
-	el := time.Since(start).Seconds()
+	el := env.timeSection(func() {
+		for i := 0; i < iters; i++ {
+			blk.Encrypt(buf, buf)
+		}
+	}).Seconds()
 	if el <= 0 {
 		return 0
 	}

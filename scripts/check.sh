@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# The full local/CI gate for the xlf repository. Mirrors
+# .github/workflows/ci.yml; `make check` runs this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go test -race ./...'
+go test -race ./...
+
+echo '>> xlf-vet ./...'
+go run ./cmd/xlf-vet ./...
+
+echo 'all checks passed'
