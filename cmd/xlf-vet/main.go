@@ -1,18 +1,25 @@
 // Command xlf-vet runs the repository's cross-layer static analysis: the
 // XLF layer import DAG, the simulator determinism contract, lock-copy
-// hygiene and error discipline in security-critical packages (see
-// internal/analysis for the rules and DESIGN.md for the architecture
-// table they enforce).
+// hygiene, error discipline in security-critical packages, and the two
+// taint dataflow rules — plaintextescape (device payloads must be sealed
+// before reaching a network send) and secretleak (token/key material must
+// not flow into logs, errors, or metrics labels). See internal/analysis
+// for the rules and DESIGN.md for the architecture table they enforce.
 //
 // Usage:
 //
-//	xlf-vet ./...                    # whole module (the CI gate)
-//	xlf-vet ./internal/exp ./cmd/... # specific packages
-//	xlf-vet -json ./...              # machine-readable findings
-//	xlf-vet -disable lockcheck ./... # drop rules for one run
+//	xlf-vet ./...                      # whole module (the CI gate)
+//	xlf-vet ./internal/exp ./cmd/...   # specific packages
+//	xlf-vet -json ./...                # machine-readable findings
+//	xlf-vet -sarif ./...               # SARIF 2.1.0 (code-scanning upload)
+//	xlf-vet -disable lockcheck ./...   # drop rules for one run
+//	xlf-vet -baseline vet.json ./...   # report only findings not in the baseline
+//	xlf-vet -baseline vet.json -write-baseline ./...  # freeze current findings
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-// load errors. Diagnostics are printed as "file:line: [rule] message".
+// Findings are reported as "file:line: [rule] message" with paths
+// relative to the module root. Exit status: 0 when clean (or when every
+// finding is suppressed by the baseline), 1 when findings were reported,
+// 2 on usage or load errors.
 package main
 
 import (
@@ -35,11 +42,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xlf-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as JSON")
-		disable = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop)")
-		root    = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
+		sarifOut  = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop,plaintextescape,secretleak)")
+		root      = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+		baseline  = fs.String("baseline", "", "baseline file: suppress the findings recorded in it")
+		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit clean")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "xlf-vet: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *writeBase && *baseline == "" {
+		fmt.Fprintln(stderr, "xlf-vet: -write-baseline requires -baseline <file>")
 		return 2
 	}
 
@@ -52,12 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	pkgs, err := analysis.LoadModule(moduleRoot)
-	if err != nil {
-		fmt.Fprintln(stderr, "xlf-vet:", err)
-		return 2
-	}
-	pkgs, err = filterPackages(pkgs, moduleRoot, fs.Args())
+	allPkgs, err := analysis.LoadModule(moduleRoot)
 	if err != nil {
 		fmt.Fprintln(stderr, "xlf-vet:", err)
 		return 2
@@ -69,8 +82,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Module-scoped analyzers (the taint rules) need the whole module to
+	// compute cross-package function summaries, even when the command
+	// line narrows the packages actually checked.
+	analysis.Prepare(allPkgs, analyzers)
+
+	pkgs, err := filterPackages(allPkgs, moduleRoot, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "xlf-vet:", err)
+		return 2
+	}
+
 	findings := analysis.Run(pkgs, analyzers)
-	if *jsonOut {
+	relativize(findings, moduleRoot)
+
+	if *writeBase {
+		if err := analysis.NewBaseline(findings).WriteFile(*baseline); err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "xlf-vet: wrote %d finding(s) to %s\n", len(findings), *baseline)
+		return 0
+	}
+	suppressed := 0
+	if *baseline != "" {
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+		findings, suppressed = b.Filter(findings)
+	}
+
+	switch {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(stdout, analyzers, findings); err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -80,16 +130,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "xlf-vet:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "xlf-vet: %d finding(s)\n", len(findings))
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "xlf-vet: %d finding(s), %d suppressed by baseline\n", len(findings), suppressed)
+		} else {
+			fmt.Fprintf(stderr, "xlf-vet: %d finding(s)\n", len(findings))
+		}
 		return 1
 	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "xlf-vet: clean (%d finding(s) suppressed by baseline)\n", suppressed)
+	}
 	return 0
+}
+
+// relativize rewrites finding paths relative to the module root, so
+// output (and baselines) are stable across checkouts.
+func relativize(findings []analysis.Finding, root string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
 }
 
 // findModuleRoot walks up from the working directory to the nearest

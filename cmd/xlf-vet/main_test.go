@@ -72,16 +72,53 @@ func seedModule(t *testing.T) string {
 		}
 	}
 	write("go.mod", "module xlf\n\ngo 1.22\n")
-	// layercheck: the device layer reaching into the service layer.
+	// layercheck: the device layer reaching into the service layer. The
+	// package also hosts the plaintextescape source constructor.
 	write("internal/device/device.go", `package device
 
 import "xlf/internal/service"
 
 var _ = service.Cloud{}
+
+func NewPayload(id, kind, body string) []byte {
+	return []byte(kind + ":" + id + ":" + body)
+}
 `)
+	// secretleak: raw token material formatted into an error.
 	write("internal/service/service.go", `package service
 
+import (
+	"fmt"
+
+	"xlf/internal/xauth"
+)
+
 type Cloud struct{}
+
+func (c *Cloud) Reject(s *xauth.Signer) error {
+	return fmt.Errorf("bad token %v", s.Issue("u1"))
+}
+`)
+	// The network-layer sink for plaintextescape.
+	write("internal/netsim/netsim.go", `package netsim
+
+type Packet struct{ Payload []byte }
+
+type Network struct{}
+
+func (n *Network) Send(p *Packet) {}
+`)
+	// plaintextescape: an unsealed device payload crossing into netsim.
+	write("internal/testbed/testbed.go", `package testbed
+
+import (
+	"xlf/internal/device"
+	"xlf/internal/netsim"
+)
+
+func Keepalive(n *netsim.Network) {
+	n.Send(&netsim.Packet{Payload: device.NewPayload("d1", "keepalive", "")})
+}
 `)
 	// determinism: a wall-clock read inside the simulator.
 	write("internal/sim/sim.go", `package sim
@@ -101,10 +138,17 @@ type Engine struct {
 
 func (e Engine) Lock() { e.mu.Lock() }
 `)
-	// errdrop: a discarded verification error in xauth.
+	// errdrop: a discarded verification error in xauth. Signer.Issue is
+	// the secretleak source consumed by the service package; keep this
+	// package's own findings at exactly the one errdrop (TestJSONFindings
+	// counts on it).
 	write("internal/xauth/xauth.go", `package xauth
 
 import "errors"
+
+type Signer struct{}
+
+func (s *Signer) Issue(subject string) string { return subject }
 
 func Verify() error { return errors.New("bad") }
 
@@ -128,6 +172,8 @@ func TestSeededViolationsFail(t *testing.T) {
 		{"internal/sim/sim.go", "determinism"},
 		{"internal/core/core.go", "lockcheck"},
 		{"internal/xauth/xauth.go", "errdrop"},
+		{"internal/testbed/testbed.go", "plaintextescape"},
+		{"internal/service/service.go", "secretleak"},
 	} {
 		re := regexp.MustCompile(regexp.QuoteMeta(want.file) + `:\d+: \[` + want.rule + `\]`)
 		if !re.MatchString(out) {
@@ -146,7 +192,7 @@ func TestSeededViolationsFail(t *testing.T) {
 func TestDisableDropsRule(t *testing.T) {
 	root := seedModule(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-root", root, "-disable", "determinism,errdrop,layercheck,lockcheck", "./..."}, &stdout, &stderr)
+	code := run([]string{"-root", root, "-disable", "determinism,errdrop,layercheck,lockcheck,plaintextescape,secretleak", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d with all rules disabled, want 0\n%s%s", code, stdout.String(), stderr.String())
 	}
@@ -223,5 +269,155 @@ func TestJSONFindings(t *testing.T) {
 	}
 	if len(findings) != 1 || findings[0].Rule != "errdrop" || findings[0].Line == 0 {
 		t.Errorf("findings = %+v, want one errdrop entry with a line", findings)
+	}
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when UPDATE_GOLDEN=1 is set in the environment.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (UPDATE_GOLDEN=1 regenerates)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestJSONGolden pins the machine-readable output byte-for-byte: finding
+// paths are module-relative, so the seeded module renders identically
+// regardless of the temp directory it lives in.
+func TestJSONGolden(t *testing.T) {
+	root := seedModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stderr.String())
+	}
+	checkGolden(t, "seed.json", stdout.Bytes())
+}
+
+// TestSARIFGolden pins the SARIF 2.1.0 shape and round-trips it through
+// the JSON decoder as a structural validity check.
+func TestSARIFGolden(t *testing.T) {
+	root := seedModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-sarif", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("bad SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("schema/version = %q / %q, want SARIF 2.1.0", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "xlf-vet" {
+		t.Fatalf("want one run from driver xlf-vet, got %+v", log.Runs)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != 6 {
+		t.Errorf("rules array has %d entries, want all 6 configured rules", len(rules))
+	}
+	for _, r := range log.Runs[0].Results {
+		if r.Level != "error" {
+			t.Errorf("result %s has level %q, want error", r.RuleID, r.Level)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(rules) || rules[r.RuleIndex]["id"] != r.RuleID {
+			t.Errorf("result %s: ruleIndex %d does not point at its rule", r.RuleID, r.RuleIndex)
+		}
+	}
+	checkGolden(t, "seed.sarif", stdout.Bytes())
+}
+
+// TestSARIFAndJSONExclusive: the two machine formats cannot be combined.
+func TestSARIFAndJSONExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+// TestBaselineRoundTrip freezes the seeded findings, shows the next run
+// is clean under the baseline, then proves a NEW violation still fails.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := seedModule(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	// -write-baseline requires -baseline.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-write-baseline", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("write-baseline without -baseline: exit %d, want 2", code)
+	}
+
+	// Freeze the current findings.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline: exit %d, want 0\n%s", code, stderr.String())
+	}
+
+	// Same tree, baseline applied: clean exit, suppression reported.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("baselined run printed findings:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "suppressed by baseline") {
+		t.Errorf("stderr missing suppression note: %q", stderr.String())
+	}
+
+	// Introduce a fresh violation: only it must surface.
+	if err := os.WriteFile(filepath.Join(root, "internal/sim/extra.go"), []byte(`package sim
+
+import "time"
+
+func Later() time.Time { return time.Now().Add(time.Second) }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new violation under baseline: exit %d, want 1\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "internal/sim/extra.go") || !strings.Contains(out, "[determinism]") {
+		t.Errorf("new violation not reported:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("want exactly the one new finding, got:\n%s", out)
 	}
 }

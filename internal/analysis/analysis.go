@@ -61,6 +61,31 @@ type Analyzer interface {
 	Check(pkg *Package) []Finding
 }
 
+// ModuleAnalyzer is an Analyzer that needs the whole module before
+// per-package Check calls — the taint engine computes cross-package
+// function summaries this way. Prepare is idempotent: the first call
+// wins, so a driver can prepare on the full module and then Check a
+// filtered subset without losing cross-package context.
+type ModuleAnalyzer interface {
+	Analyzer
+	Prepare(pkgs []*Package)
+}
+
+// Documented is optionally implemented by analyzers that carry a one-line
+// rule description (surfaced as SARIF rule metadata).
+type Documented interface {
+	Doc() string
+}
+
+// Prepare runs every ModuleAnalyzer's Prepare step over the package set.
+func Prepare(pkgs []*Package, analyzers []Analyzer) {
+	for _, a := range analyzers {
+		if m, ok := a.(ModuleAnalyzer); ok {
+			m.Prepare(pkgs)
+		}
+	}
+}
+
 // finding builds a Finding at pos.
 func (p *Package) finding(rule string, pos token.Pos, format string, args ...any) Finding {
 	position := p.Fset.Position(pos)
@@ -74,8 +99,11 @@ func (p *Package) finding(rule string, pos token.Pos, format string, args ...any
 }
 
 // Run applies every analyzer to every package and returns the combined
-// findings sorted by file, line and rule.
+// findings sorted by file, line and rule. Module-scoped analyzers are
+// prepared over the same package set first (a no-op when the driver
+// already prepared them on the full module).
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	Prepare(pkgs, analyzers)
 	var out []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {

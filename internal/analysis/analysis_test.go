@@ -54,12 +54,13 @@ func fixturePackages(t *testing.T, rule string) []*Package {
 
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
 
-// checkFixture runs the analyzer over a fixture tree and matches findings
-// 1:1 against the `// want "regexp"` expectations in the sources.
-func checkFixture(t *testing.T, rule string, an Analyzer) {
+// checkFixture runs the analyzers over a fixture tree and matches
+// findings 1:1 against the `// want "regexp"` expectations in the
+// sources.
+func checkFixture(t *testing.T, rule string, ans ...Analyzer) {
 	t.Helper()
 	pkgs := fixturePackages(t, rule)
-	findings := Run(pkgs, []Analyzer{an})
+	findings := Run(pkgs, ans)
 
 	type key struct {
 		file string
@@ -127,6 +128,33 @@ func TestLockCheckFixture(t *testing.T) {
 
 func TestErrDropFixture(t *testing.T) {
 	checkFixture(t, "errdrop", NewErrDrop([]string{fixtureModule + "/internal/xauth"}))
+}
+
+// fixtureTaintRule rebases a real taint rule's intra-module refs onto the
+// fixture module, so the fixture exercises the production tables.
+func fixtureTaintRule(r TaintRule) TaintRule {
+	rebase := func(refs []TaintRef) []TaintRef {
+		out := make([]TaintRef, len(refs))
+		for i, ref := range refs {
+			if rest, ok := strings.CutPrefix(ref.Pkg, XLFModule+"/"); ok {
+				ref.Pkg = fixtureModule + "/" + rest
+			}
+			out[i] = ref
+		}
+		return out
+	}
+	r.Sources = rebase(r.Sources)
+	r.Sinks = rebase(r.Sinks)
+	r.Sanitizers = rebase(r.Sanitizers)
+	return r
+}
+
+// TestTaintFixture runs both dataflow rules (sharing one type-check)
+// over the seeded flow shapes: direct leak, sealed path, interprocedural
+// in both directions, field writes, and waivers.
+func TestTaintFixture(t *testing.T) {
+	suite := NewTaintSuite(fixtureTaintRule(XLFPlaintextEscape), fixtureTaintRule(XLFSecretLeak))
+	checkFixture(t, "taint", suite...)
 }
 
 // TestFindingString pins the diagnostic format the CI gate greps for.

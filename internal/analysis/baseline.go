@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline freezes a set of known findings so CI can gate on "no NEW
+// findings" while a legacy backlog is burned down. Entries are keyed on
+// (file, rule, message) — deliberately without line numbers, so editing
+// unrelated parts of a file does not resurrect its baselined findings.
+// The price is that several identical findings in one file collapse to
+// one entry; for a gate that only needs "was this exact complaint
+// already reviewed?", that trade is right.
+type Baseline struct {
+	entries map[baselineKey]bool
+}
+
+type baselineKey struct {
+	File    string
+	Rule    string
+	Message string
+}
+
+// baselineEntry is the on-disk form (a sorted JSON array, so the file
+// diffs cleanly under review).
+type baselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// NewBaseline freezes the given findings.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{entries: make(map[baselineKey]bool, len(findings))}
+	for _, f := range findings {
+		b.entries[baselineKey{f.File, f.Rule, f.Message}] = true
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: make(map[baselineKey]bool, len(entries))}
+	for _, e := range entries {
+		b.entries[baselineKey{e.File, e.Rule, e.Message}] = true
+	}
+	return b, nil
+}
+
+// WriteFile persists the baseline as sorted, indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	entries := make([]baselineEntry, 0, len(b.entries))
+	for k := range b.entries {
+		entries = append(entries, baselineEntry{File: k.File, Rule: k.Rule, Message: k.Message})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, c := entries[i], entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into those not covered by the baseline (kept,
+// i.e. new) and those it suppresses.
+func (b *Baseline) Filter(findings []Finding) (kept []Finding, suppressed int) {
+	for _, f := range findings {
+		if b.entries[baselineKey{f.File, f.Rule, f.Message}] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}

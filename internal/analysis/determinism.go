@@ -34,6 +34,11 @@ func NewDeterminism(packages []string) *Determinism {
 // Name implements Analyzer.
 func (d *Determinism) Name() string { return "determinism" }
 
+// Doc implements Documented.
+func (d *Determinism) Doc() string {
+	return "simulator packages must stay deterministic: no wall clock, global rand, or map-order iteration"
+}
+
 // applies reports whether the contract covers importPath.
 func (d *Determinism) applies(importPath string) bool {
 	for _, p := range d.Packages {

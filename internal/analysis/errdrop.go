@@ -35,6 +35,11 @@ func NewErrDrop(packages []string) *ErrDrop {
 // Name implements Analyzer.
 func (e *ErrDrop) Name() string { return "errdrop" }
 
+// Doc implements Documented.
+func (e *ErrDrop) Doc() string {
+	return "security-critical packages must not discard error results"
+}
+
 func (e *ErrDrop) applies(importPath string) bool {
 	for _, p := range e.Packages {
 		if prefix, ok := strings.CutSuffix(p, "/..."); ok {

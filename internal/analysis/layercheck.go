@@ -29,6 +29,11 @@ func NewLayerCheck(module string, allowed map[string][]string) *LayerCheck {
 // Name implements Analyzer.
 func (l *LayerCheck) Name() string { return "layercheck" }
 
+// Doc implements Documented.
+func (l *LayerCheck) Doc() string {
+	return "package imports must follow the XLF layer DAG in DESIGN.md"
+}
+
 // rel maps an import path inside the module to its table key.
 func (l *LayerCheck) rel(importPath string) (string, bool) {
 	if importPath == l.Module {

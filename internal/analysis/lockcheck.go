@@ -23,6 +23,11 @@ func NewLockCheck() *LockCheck { return &LockCheck{} }
 // Name implements Analyzer.
 func (l *LockCheck) Name() string { return "lockcheck" }
 
+// Doc implements Documented.
+func (l *LockCheck) Doc() string {
+	return "lock-holder structs must not be copied or passed by value"
+}
+
 // isSyncLock reports whether expr spells sync.Mutex or sync.RWMutex,
 // given the file's import name for "sync".
 func isSyncLock(expr ast.Expr, syncName string) bool {

@@ -1,0 +1,12 @@
+package channel
+
+// Session mimics the lightweight-encryption channel; Seal is the
+// sanitizer for the plaintextescape rule.
+type Session struct{ nonce uint64 }
+
+// Seal encrypts (here: frames) a plaintext payload.
+func (s *Session) Seal(plaintext []byte) ([]byte, error) {
+	s.nonce++
+	out := append([]byte{byte(s.nonce)}, plaintext...)
+	return out, nil
+}

@@ -1,0 +1,7 @@
+package device
+
+// NewPayload is the fixture's device-layer payload constructor — the
+// taint source for the plaintextescape rule.
+func NewPayload(deviceID, kind, body string) []byte {
+	return []byte(kind + ":" + deviceID + ":" + body)
+}

@@ -1,0 +1,8 @@
+package metrics
+
+// Table is the fixture's report table; AddRow is a secretleak label
+// sink.
+type Table struct{ rows [][]string }
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }

@@ -1,0 +1,22 @@
+package netsim
+
+// Packet is the fixture's network frame.
+type Packet struct {
+	Payload []byte
+	App     string
+}
+
+// Network carries the send sinks of the plaintextescape rule.
+type Network struct{ sent int }
+
+// Send transmits one packet.
+func (n *Network) Send(pkt *Packet) { n.sent++ }
+
+// Broadcast transmits to every node.
+func (n *Network) Broadcast(pkt *Packet) { n.sent++ }
+
+// Gateway is the NAT edge; SendOut is a send sink too.
+type Gateway struct{}
+
+// SendOut NATs and transmits a LAN packet.
+func (g *Gateway) SendOut(n *Network, pkt *Packet) { n.Send(pkt) }

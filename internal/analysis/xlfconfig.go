@@ -106,20 +106,82 @@ var XLFDeterministicPackages = []string{
 }
 
 // XLFSecurityPackages are the packages where a dropped error converts a
-// security failure into silent success.
+// security failure into silent success. metrics and analytics are
+// included because a silently-missing observation skews the detection
+// statistics the paper's evaluation rests on.
 var XLFSecurityPackages = []string{
+	"xlf/internal/analytics",
 	"xlf/internal/channel",
 	"xlf/internal/dnsp",
 	"xlf/internal/lwc",
+	"xlf/internal/metrics",
 	"xlf/internal/xauth",
+}
+
+// XLFPlaintextEscape is the §III/§IV cross-layer invariant compiled into
+// a dataflow rule: device-layer payload bytes must pass through the
+// channel layer's lightweight encryption before any network-layer send.
+// Legal imports are not enough — the *data* must take the sealed path.
+var XLFPlaintextEscape = TaintRule{
+	RuleName: "plaintextescape",
+	RuleDoc:  "device payload bytes must be sealed by the lwc channel before reaching a netsim send",
+	Tainted:  "plaintext device payload",
+	Advice:   "seal it with the device's negotiated channel session",
+	Sources: []TaintRef{
+		{Pkg: "xlf/internal/device", Name: "NewPayload"},
+	},
+	Sanitizers: []TaintRef{
+		{Pkg: "xlf/internal/channel", Recv: "Session", Name: "Seal"},
+	},
+	Sinks: []TaintRef{
+		{Pkg: "xlf/internal/netsim", Recv: "Network", Name: "Send"},
+		{Pkg: "xlf/internal/netsim", Recv: "Network", Name: "Broadcast"},
+		{Pkg: "xlf/internal/netsim", Recv: "Gateway", Name: "SendOut"},
+	},
+}
+
+// XLFSecretLeak keeps xauth/lwc key and token material out of
+// observability surfaces: fmt/log formatting, error construction and
+// metrics/analytics labels. Redact is the sanctioned display form.
+var XLFSecretLeak = TaintRule{
+	RuleName: "secretleak",
+	RuleDoc:  "xauth token/key material must not flow into fmt/log formatting, errors or metrics labels",
+	Tainted:  "secret token/key material",
+	Advice:   "log the xauth.Redact form instead",
+	Sources: []TaintRef{
+		{Pkg: "xlf/internal/xauth", Recv: "Signer", Name: "Issue"},
+		{Pkg: "xlf/internal/xauth", Name: "Encode"},
+		{Pkg: "xlf/internal/xauth", Name: "Decode"},
+	},
+	Sanitizers: []TaintRef{
+		{Pkg: "xlf/internal/xauth", Name: "Redact"},
+	},
+	Sinks: []TaintRef{
+		{Pkg: "fmt", Name: "Errorf"},
+		{Pkg: "fmt", Name: "Sprintf"},
+		{Pkg: "fmt", Name: "Sprint"},
+		{Pkg: "fmt", Name: "Sprintln"},
+		{Pkg: "fmt", Name: "Printf"},
+		{Pkg: "fmt", Name: "Print"},
+		{Pkg: "fmt", Name: "Println"},
+		{Pkg: "log", Name: "Printf"},
+		{Pkg: "log", Name: "Print"},
+		{Pkg: "log", Name: "Println"},
+		{Pkg: "log", Name: "Fatalf"},
+		{Pkg: "log", Name: "Fatal"},
+		{Pkg: "xlf/internal/metrics", Recv: "Table", Name: "AddRow"},
+		{Pkg: "xlf/internal/metrics", Recv: "Table", Name: "AddRowf"},
+		{Pkg: "xlf/internal/analytics", Recv: "Correlator", Name: "Evaluate"},
+	},
 }
 
 // XLFAnalyzers returns the full rule set configured for this repository.
 func XLFAnalyzers() []Analyzer {
-	return []Analyzer{
+	out := []Analyzer{
 		NewLayerCheck(XLFModule, XLFLayerTable),
 		NewDeterminism(XLFDeterministicPackages),
 		NewLockCheck(),
 		NewErrDrop(XLFSecurityPackages),
 	}
+	return append(out, NewTaintSuite(XLFPlaintextEscape, XLFSecretLeak)...)
 }

@@ -7,28 +7,38 @@ import "fmt"
 // hardware profile with firmware, credentials, ports, cloud endpoints and
 // a ground-truth behaviour automaton.
 
-func mustBehavior(initial State, trs []Transition) *Behavior {
-	b, err := NewBehavior(initial, trs)
+// mustParse unwraps a fallible constructor result for the compiled-in
+// catalog tables. A failure here is a defect in the table itself, so it
+// panics — but with the build and field named, the broken row is
+// findable without decoding a stack trace.
+func mustParse[T any](build, field string, v T, err error) T {
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("device: catalog %s/%s: %v", build, field, err))
 	}
-	return b
+	return v
+}
+
+func mustProfile(build, name string) Profile {
+	p, err := ProfileByName(name)
+	return mustParse(build, "profile", p, err)
+}
+
+func mustBehavior(build string, initial State, trs []Transition) *Behavior {
+	b, err := NewBehavior(initial, trs)
+	return mustParse(build, "behavior", b, err)
 }
 
 // NewSmartBulb builds the Table II "smart light bulb": static default
 // password, cleartext LAN control port.
 func NewSmartBulb(id string) *Device {
-	p, err := ProfileByName("Philips Hue Lightbulb")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("smart-bulb", "Philips Hue Lightbulb")
 	return New(id, p,
 		WithCaps("switch", "level"),
 		WithCreds(Credentials{User: "admin", Password: "admin", Default: true}),
 		WithPorts(Port{Number: 80, Service: "http", Cleartext: true}),
 		WithFirmware(NewFirmware("1.9.0", []byte("hue-fw-1.9.0"), true)),
 		WithCloudDomains("bridge.philips-hue.example"),
-		WithBehavior(mustBehavior("off", []Transition{
+		WithBehavior(mustBehavior("smart-bulb", "off", []Transition{
 			{From: "off", Event: "on", To: "on"},
 			{From: "on", Event: "off", To: "off"},
 			{From: "on", Event: "dim", To: "dimmed"},
@@ -41,17 +51,14 @@ func NewSmartBulb(id string) *Device {
 // NewWallPad builds the Table II "wall pad" (home control panel) with a
 // firmware that has a buffer-overflow-prone command parser.
 func NewWallPad(id string) *Device {
-	p, err := ProfileByName("Sensor Devices")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("wall-pad", "Sensor Devices")
 	return New(id, p,
 		WithCaps("panel", "intercom"),
 		WithCreds(Credentials{User: "installer", Password: "0000", Default: true}),
 		WithPorts(Port{Number: 5000, Service: "control", Cleartext: true}),
 		WithFirmware(NewFirmware("2.1.3", []byte("wallpad-fw-2.1.3"), false)),
 		WithCloudDomains("panel.homebuilder.example"),
-		WithBehavior(mustBehavior("idle", []Transition{
+		WithBehavior(mustBehavior("wall-pad", "idle", []Transition{
 			{From: "idle", Event: "unlock", To: "unlocked"},
 			{From: "unlocked", Event: "lock", To: "idle"},
 			{From: "idle", Event: "call", To: "calling"},
@@ -63,10 +70,7 @@ func NewWallPad(id string) *Device {
 // NewNetworkCamera builds the Table II "network camera" whose firmware
 // update path does not verify integrity.
 func NewNetworkCamera(id string) *Device {
-	p, err := ProfileByName("Samsung Smart Cam")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("network-camera", "Samsung Smart Cam")
 	return New(id, p,
 		WithCaps("camera", "motion"),
 		WithCreds(Credentials{User: "admin", Password: "1234", Default: true}),
@@ -76,7 +80,7 @@ func NewNetworkCamera(id string) *Device {
 		),
 		WithFirmware(NewFirmware("3.0.1", []byte("cam-fw-3.0.1"), false)),
 		WithCloudDomains("stream.smartcam.example", "dropcam.example"),
-		WithBehavior(mustBehavior("monitoring", []Transition{
+		WithBehavior(mustBehavior("network-camera", "monitoring", []Transition{
 			{From: "monitoring", Event: "motion", To: "recording"},
 			{From: "recording", Event: "clear", To: "monitoring"},
 			{From: "monitoring", Event: "disable", To: "off"},
@@ -88,17 +92,14 @@ func NewNetworkCamera(id string) *Device {
 // NewChromecast builds the Table II "Chromecast" vulnerable to
 // deauth-and-reconnect ("rickrolling").
 func NewChromecast(id string) *Device {
-	p, err := ProfileByName("Google Chromecast")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("chromecast", "Google Chromecast")
 	return New(id, p,
 		WithCaps("mediaPlayer"),
 		WithCreds(Credentials{}), // no admin login at all
 		WithPorts(Port{Number: 8008, Service: "cast", Cleartext: true}),
 		WithFirmware(NewFirmware("1.36", []byte("cast-fw-1.36"), true)),
 		WithCloudDomains("cast.google.example"),
-		WithBehavior(mustBehavior("idle", []Transition{
+		WithBehavior(mustBehavior("chromecast", "idle", []Transition{
 			{From: "idle", Event: "cast", To: "playing"},
 			{From: "playing", Event: "stop", To: "idle"},
 			{From: "playing", Event: "cast", To: "playing"},
@@ -109,17 +110,14 @@ func NewChromecast(id string) *Device {
 // NewCoffeeMachine builds the Table II "coffee machine" that provisions
 // WiFi over an unprotected UPnP channel.
 func NewCoffeeMachine(id string) *Device {
-	p, err := ProfileByName("Sensor Devices")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("coffee-machine", "Sensor Devices")
 	return New(id, p,
 		WithCaps("switch", "brew"),
 		WithCreds(Credentials{User: "user", Password: "user", Default: true}),
 		WithPorts(Port{Number: 1900, Service: "upnp", Cleartext: true}),
 		WithFirmware(NewFirmware("0.9.2", []byte("coffee-fw-0.9.2"), false)),
 		WithCloudDomains("brew.kitchen.example"),
-		WithBehavior(mustBehavior("idle", []Transition{
+		WithBehavior(mustBehavior("coffee-machine", "idle", []Transition{
 			{From: "idle", Event: "brew", To: "brewing"},
 			{From: "brewing", Event: "done", To: "idle"},
 		})),
@@ -129,10 +127,7 @@ func NewCoffeeMachine(id string) *Device {
 // NewFridge builds the Table II "fridge" with generic authentication that
 // can be infected to send spam mail.
 func NewFridge(id string) *Device {
-	p, err := ProfileByName("Samsung Smart TV") // appliance-grade SoC
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("fridge", "Samsung Smart TV") // appliance-grade SoC
 	d := New(id, p,
 		WithCaps("thermostat", "display"),
 		WithCreds(Credentials{User: "admin", Password: "password", Default: true}),
@@ -142,7 +137,7 @@ func NewFridge(id string) *Device {
 		),
 		WithFirmware(NewFirmware("4.2", []byte("fridge-fw-4.2"), true)),
 		WithCloudDomains("food.fridge.example"),
-		WithBehavior(mustBehavior("cooling", []Transition{
+		WithBehavior(mustBehavior("fridge", "cooling", []Transition{
 			{From: "cooling", Event: "door_open", To: "open"},
 			{From: "open", Event: "door_close", To: "cooling"},
 			{From: "cooling", Event: "defrost", To: "defrosting"},
@@ -155,17 +150,14 @@ func NewFridge(id string) *Device {
 
 // NewOven builds the Table II "oven" on an open WiFi network.
 func NewOven(id string) *Device {
-	p, err := ProfileByName("Dacor Android Oven")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("oven", "Dacor Android Oven")
 	return New(id, p,
 		WithCaps("oven", "thermostat"),
 		WithCreds(Credentials{User: "chef", Password: "cook", Default: true}),
 		WithPorts(Port{Number: 80, Service: "http", Cleartext: true}),
 		WithFirmware(NewFirmware("1.1", []byte("oven-fw-1.1"), false)),
 		WithCloudDomains("recipes.oven.example"),
-		WithBehavior(mustBehavior("off", []Transition{
+		WithBehavior(mustBehavior("oven", "off", []Transition{
 			{From: "off", Event: "preheat", To: "preheating"},
 			{From: "preheating", Event: "ready", To: "hot"},
 			{From: "hot", Event: "off", To: "off"},
@@ -177,17 +169,14 @@ func NewOven(id string) *Device {
 // NewThermostat builds a thermostat for automation scenarios (the §IV-C3
 // temperature/window policy example).
 func NewThermostat(id string) *Device {
-	p, err := ProfileByName("Nest Learning Thermostat")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("thermostat", "Nest Learning Thermostat")
 	return New(id, p,
 		WithCaps("thermostat", "temperature"),
 		WithCreds(Credentials{User: "owner", Password: "correct-horse", Default: false}),
 		WithPorts(Port{Number: 443, Service: "https", Cleartext: false}),
 		WithFirmware(NewFirmware("5.9.3", []byte("nest-fw-5.9.3"), true)),
 		WithCloudDomains("api.nest.example"),
-		WithBehavior(mustBehavior("idle", []Transition{
+		WithBehavior(mustBehavior("thermostat", "idle", []Transition{
 			{From: "idle", Event: "heat", To: "heating"},
 			{From: "heating", Event: "target_reached", To: "idle"},
 			{From: "idle", Event: "cool", To: "cooling"},
@@ -199,17 +188,14 @@ func NewThermostat(id string) *Device {
 // NewWindowLock builds the smart window lock paired with the thermostat in
 // the §IV-C3 automation-abuse scenario.
 func NewWindowLock(id string) *Device {
-	p, err := ProfileByName("Sensor Devices")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("window-lock", "Sensor Devices")
 	return New(id, p,
 		WithCaps("lock", "contact"),
 		WithCreds(Credentials{User: "owner", Password: "window-pass", Default: false}),
 		WithPorts(),
 		WithFirmware(NewFirmware("1.0", []byte("lock-fw-1.0"), true)),
 		WithCloudDomains("locks.example"),
-		WithBehavior(mustBehavior("locked", []Transition{
+		WithBehavior(mustBehavior("window-lock", "locked", []Transition{
 			{From: "locked", Event: "unlock", To: "unlocked"},
 			{From: "unlocked", Event: "lock", To: "locked"},
 			{From: "unlocked", Event: "open", To: "open"},
@@ -220,16 +206,13 @@ func NewWindowLock(id string) *Device {
 
 // NewSmokeDetector builds a battery sensor used in detection scenarios.
 func NewSmokeDetector(id string) *Device {
-	p, err := ProfileByName("Nest Smoke Detector")
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("smoke-detector", "Nest Smoke Detector")
 	return New(id, p,
 		WithCaps("smoke", "battery"),
 		WithCreds(Credentials{User: "owner", Password: "smoke-pass", Default: false}),
 		WithFirmware(NewFirmware("3.1", []byte("smoke-fw-3.1"), true)),
 		WithCloudDomains("api.nest.example"),
-		WithBehavior(mustBehavior("clear", []Transition{
+		WithBehavior(mustBehavior("smoke-detector", "clear", []Transition{
 			{From: "clear", Event: "smoke", To: "alarm"},
 			{From: "alarm", Event: "clear", To: "clear"},
 			{From: "clear", Event: "test", To: "testing"},
@@ -244,10 +227,7 @@ func NewSmokeDetector(id string) *Device {
 // (§IV-B3: "even for devices without automation programs, such as Amazon
 // Echo, their activity patterns should still be predictable").
 func NewSmartSpeaker(id string) *Device {
-	p, err := ProfileByName("Google Chromecast") // same SoC class
-	if err != nil {
-		panic(err)
-	}
+	p := mustProfile("smart-speaker", "Google Chromecast") // same SoC class
 	d := New(id, p,
 		WithCaps("speaker", "voice"),
 		WithCreds(Credentials{User: "owner", Password: "speaker-pass", Default: false}),

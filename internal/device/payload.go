@@ -1,0 +1,39 @@
+package device
+
+// This file is the device-layer payload origin the cross-layer taint
+// rule (xlf-vet's plaintextescape) anchors on: every application payload
+// a device emits is built here, so the static analysis can prove that
+// payload bytes pass through the channel layer's Seal before any
+// netsim send. Constructing payload bytes inline defeats that proof —
+// always go through these constructors.
+
+// NewPayload builds the canonical device application payload framing:
+// "<kind>:<deviceID>" with an optional ":<body>" tail. The result is
+// plaintext device data and must be sealed by the device's negotiated
+// channel session before it crosses the network layer.
+func NewPayload(deviceID, kind, body string) []byte {
+	n := len(kind) + 1 + len(deviceID)
+	if body != "" {
+		n += 1 + len(body)
+	}
+	p := make([]byte, 0, n)
+	p = append(p, kind...)
+	p = append(p, ':')
+	p = append(p, deviceID...)
+	if body != "" {
+		p = append(p, ':')
+		p = append(p, body...)
+	}
+	return p
+}
+
+// KeepalivePayload is the periodic cloud-chatter payload every real
+// device produces (what the E2 adversary fingerprints by size).
+func (d *Device) KeepalivePayload() []byte {
+	return NewPayload(d.ID, "keepalive", "")
+}
+
+// EventPayload carries one state-change event to the vendor cloud.
+func (d *Device) EventPayload(event string) []byte {
+	return NewPayload(d.ID, "event", event)
+}

@@ -1,0 +1,28 @@
+package device
+
+import "testing"
+
+func TestNewPayloadFraming(t *testing.T) {
+	for _, tc := range []struct {
+		id, kind, body string
+		want           string
+	}{
+		{"bulb-1", "keepalive", "", "keepalive:bulb-1"},
+		{"cam-1", "event", "motion", "event:cam-1:motion"},
+		{"", "event", "x", "event::x"},
+	} {
+		if got := string(NewPayload(tc.id, tc.kind, tc.body)); got != tc.want {
+			t.Errorf("NewPayload(%q, %q, %q) = %q, want %q", tc.id, tc.kind, tc.body, got, tc.want)
+		}
+	}
+}
+
+func TestDevicePayloadConstructors(t *testing.T) {
+	d := NewSmartBulb("bulb-7")
+	if got, want := string(d.KeepalivePayload()), "keepalive:bulb-7"; got != want {
+		t.Errorf("KeepalivePayload = %q, want %q", got, want)
+	}
+	if got, want := string(d.EventPayload("on")), "event:bulb-7:on"; got != want {
+		t.Errorf("EventPayload = %q, want %q", got, want)
+	}
+}

@@ -108,13 +108,26 @@ type Registry struct {
 	order  []string
 }
 
-// NewRegistry returns the Figure 2 protocol map.
-func NewRegistry() *Registry {
+// NewRegistry returns the Figure 2 protocol map. An error here means the
+// compiled-in figure2 table is itself malformed (duplicate or unnamed
+// protocol, out-of-range layer).
+func NewRegistry() (*Registry, error) {
 	r := &Registry{byName: make(map[string]Protocol)}
 	for _, p := range figure2() {
 		if err := r.Add(p); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("proto: figure 2 table: %w", err)
 		}
+	}
+	return r, nil
+}
+
+// MustRegistry is NewRegistry for static-table contexts (experiment
+// harnesses, tests) where a malformed compiled-in table is a programming
+// error: it panics instead of returning an error.
+func MustRegistry() *Registry {
+	r, err := NewRegistry()
+	if err != nil {
+		panic(err)
 	}
 	return r
 }

@@ -5,8 +5,18 @@ import (
 	"testing"
 )
 
+func TestNewRegistryError(t *testing.T) {
+	r, err := NewRegistry()
+	if err != nil {
+		t.Fatalf("NewRegistry() on the compiled-in table: %v", err)
+	}
+	if r == nil {
+		t.Fatal("NewRegistry() returned nil registry without error")
+	}
+}
+
 func TestRegistryPopulated(t *testing.T) {
-	r := NewRegistry()
+	r := MustRegistry()
 	if got := len(r.All()); got < 20 {
 		t.Fatalf("registry has %d protocols, want >= 20", got)
 	}
@@ -18,7 +28,7 @@ func TestRegistryPopulated(t *testing.T) {
 }
 
 func TestEveryLayerRepresented(t *testing.T) {
-	r := NewRegistry()
+	r := MustRegistry()
 	for _, l := range []Layer{LayerPhysical, LayerNetwork, LayerTransport, LayerApplication} {
 		if len(r.AtLayer(l)) == 0 {
 			t.Errorf("layer %s has no protocols", l)
@@ -27,7 +37,7 @@ func TestEveryLayerRepresented(t *testing.T) {
 }
 
 func TestAddValidation(t *testing.T) {
-	r := NewRegistry()
+	r := MustRegistry()
 	if err := r.Add(Protocol{Name: "", Layer: LayerNetwork}); err == nil {
 		t.Error("Add accepted empty name")
 	}
@@ -54,14 +64,14 @@ func TestCapabilitiesScoreAndString(t *testing.T) {
 	if none.Score() != 0 || none.String() != "none" {
 		t.Errorf("empty caps = %d %q", none.Score(), none.String())
 	}
-	tls, _ := NewRegistry().Lookup("TLS")
+	tls, _ := MustRegistry().Lookup("TLS")
 	if !strings.Contains(tls.Caps.String(), "enc") {
 		t.Errorf("TLS caps string %q missing enc", tls.Caps.String())
 	}
 }
 
 func TestSecureChannelsOutscoreCleartext(t *testing.T) {
-	r := NewRegistry()
+	r := MustRegistry()
 	tls, _ := r.Lookup("TLS")
 	http, _ := r.Lookup("HTTP")
 	upnp, _ := r.Lookup("UPnP")
@@ -74,7 +84,7 @@ func TestSecureChannelsOutscoreCleartext(t *testing.T) {
 }
 
 func TestRenderFigure2(t *testing.T) {
-	out := NewRegistry().RenderFigure2()
+	out := MustRegistry().RenderFigure2()
 	for _, want := range []string{"Figure 2", "Application", "Transport", "Network", "Physical/Link", "ZigBee", "DTLS"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)

@@ -245,7 +245,10 @@ func (h *Home) addDevice(d *device.Device, cfg Config) error {
 				App: "keepalive",
 			}
 			if sess, ok := h.Sessions[d.ID]; ok {
-				sealed, err := sess.Seal([]byte("keepalive:" + d.ID))
+				// Payload bytes originate in the device layer and must be
+				// sealed before crossing the network layer (the xlf-vet
+				// plaintextescape invariant).
+				sealed, err := sess.Seal(d.KeepalivePayload())
 				if err != nil {
 					return // battery exhausted: the device goes dark
 				}
@@ -270,12 +273,21 @@ func (h *Home) UserEvent(deviceID, event string) error {
 	}
 	// Event traffic to the vendor cloud (burst larger than keepalive).
 	if len(d.CloudDomains) > 0 {
-		h.Gateway.SendOut(h.Net, &netsim.Packet{
+		pkt := &netsim.Packet{
 			Src: netsim.Addr("lan:" + deviceID), SrcPort: 7443,
 			Dst: netsim.Addr("wan:" + d.CloudDomains[0]), DstPort: 443,
 			Proto: "TLS", Encrypted: true, Size: 900,
 			App: "event:" + event,
-		})
+		}
+		if sess, ok := h.Sessions[deviceID]; ok {
+			// Same plaintextescape contract as the keepalive path: event
+			// payloads cross the network layer only sealed.
+			if sealed, err := sess.Seal(d.EventPayload(event)); err == nil {
+				pkt.Payload = sealed
+				pkt.Proto = "XLF-LWC"
+			}
+		}
+		h.Gateway.SendOut(h.Net, pkt)
 	}
 	return h.Cloud.PublishDeviceEvent(deviceID, event, 0)
 }

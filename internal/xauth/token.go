@@ -125,6 +125,19 @@ func Encode(t Token) string {
 	return base64.RawURLEncoding.EncodeToString(b)
 }
 
+// Redact renders a token for logs, errors and metrics labels without
+// the signature or device binding: subject, privilege and a 4-byte
+// signature prefix, enough to correlate log lines without making the
+// log a credential store. This is the sanitizer the secretleak taint
+// rule accepts between token material and observability sinks.
+func Redact(t Token) string {
+	sig := "unsigned"
+	if len(t.Sig) >= 4 {
+		sig = fmt.Sprintf("%x…", t.Sig[:4])
+	}
+	return fmt.Sprintf("token(%s/%s sig=%s)", t.Subject, t.Priv, sig)
+}
+
 // Decode parses a transported token.
 func Decode(s string) (Token, error) {
 	var t Token

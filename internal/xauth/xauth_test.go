@@ -2,6 +2,7 @@ package xauth
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -52,6 +53,23 @@ func TestTokenTamperDetected(t *testing.T) {
 	good := s.Issue("bob", "", Basic, false, 0, time.Hour)
 	if err := s2.Verify(good, time.Minute, ""); !errors.Is(err, ErrBadSignature) {
 		t.Errorf("cross-key token: err = %v, want ErrBadSignature", err)
+	}
+}
+
+// TestRedactHidesSignature: the sanctioned display form must never
+// contain the full MAC (that is the point of the secretleak sanitizer).
+func TestRedactHidesSignature(t *testing.T) {
+	s, _ := NewSigner([]byte("k"))
+	tok := s.Issue("alice", "bulb-1", Advanced, true, 0, time.Hour)
+	red := Redact(tok)
+	if !strings.Contains(red, "alice") {
+		t.Errorf("Redact(%v) = %q, want the subject visible", tok, red)
+	}
+	if strings.Contains(red, string(tok.Sig)) || strings.Contains(red, Encode(tok)) {
+		t.Errorf("Redact leaked raw token material: %q", red)
+	}
+	if red := Redact(Token{Subject: "x", Priv: Basic}); red != "token(x/basic sig=unsigned)" {
+		t.Errorf("unsigned form = %q", red)
 	}
 }
 

@@ -22,6 +22,15 @@ go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
 
+# Fuzz smoke: a few seconds per corpus keeps the harnesses honest (a
+# bit-rotted fuzz target fails here, not six months from now) and still
+# catches shallow regressions in the codec/seal paths.
+echo '>> fuzz smoke (5s per target)'
+go test -run='^$' -fuzz='^FuzzOpen$' -fuzztime=5s ./internal/channel
+go test -run='^$' -fuzz='^FuzzCodecOpen$' -fuzztime=5s ./internal/dnsp
+go test -run='^$' -fuzz='^FuzzSealOpenRoundTrip$' -fuzztime=5s ./internal/dnsp
+go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
+
 echo '>> xlf-vet ./...'
 go run ./cmd/xlf-vet ./...
 
