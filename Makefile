@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check report
+.PHONY: build test race vet fmt check report bench
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,8 @@ check:
 # report regenerates every paper table and figure.
 report:
 	$(GO) run ./cmd/probe
+
+# bench runs the full experiment suite in parallel and writes the
+# versioned BENCH_<id>.json artifacts to out/bench.
+bench:
+	$(GO) run ./cmd/xlf-bench -all -parallel 8 -json out/bench

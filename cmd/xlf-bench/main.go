@@ -1,20 +1,27 @@
 // Command xlf-bench regenerates every table and figure of the XLF paper
 // and runs the quantitative experiment suite (see DESIGN.md's
-// per-experiment index).
+// per-experiment index). Selection, listing and scheduling are all driven
+// by the exp.Registry descriptors; there are no hardcoded experiment
+// switches here.
 //
 // Usage:
 //
-//	xlf-bench -all             # everything, report order
-//	xlf-bench -table 2         # just Table II
-//	xlf-bench -figure 4        # just Figure 4
-//	xlf-bench -exp E1          # one experiment
-//	xlf-bench -seed 7 -all     # different deterministic seed
+//	xlf-bench -all                      # everything, report order
+//	xlf-bench -all -parallel 8          # same report, worker-pool schedule
+//	xlf-bench -table 2                  # just Table II
+//	xlf-bench -figure 4                 # just Figure 4
+//	xlf-bench -exp E1,E4,T3             # a comma list of registry IDs
+//	xlf-bench -seed 7 -all              # different deterministic seed
+//	xlf-bench -all -json out/           # write BENCH_<id>.json artifacts
+//	xlf-bench -all -clock step          # fixed fake clock: byte-identical
+//	                                    # output at any -parallel level
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xlf/internal/exp"
 )
@@ -26,77 +33,87 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("xlf-bench", flag.ContinueOnError)
 	var (
-		all    = fs.Bool("all", false, "run everything")
-		list   = fs.Bool("list", false, "list available tables/figures/experiments")
-		table  = fs.Int("table", 0, "reproduce one paper table (1-3)")
-		figure = fs.Int("figure", 0, "reproduce one paper figure (1-4)")
-		expID  = fs.String("exp", "", "run one experiment (E1-E9)")
-		seed   = fs.Int64("seed", 1, "deterministic seed")
+		all      = fs.Bool("all", false, "run every registry entry")
+		list     = fs.Bool("list", false, "list available tables/figures/experiments")
+		table    = fs.Int("table", 0, "reproduce one paper table (1-3)")
+		figure   = fs.Int("figure", 0, "reproduce one paper figure (1-4)")
+		expIDs   = fs.String("exp", "", "comma-separated registry IDs (e.g. E1,E4,T3)")
+		seed     = fs.Int64("seed", 1, "deterministic seed")
+		parallel = fs.Int("parallel", 1, "worker-pool size for experiments and inner sweeps")
+		jsonDir  = fs.String("json", "", "directory to write BENCH_<id>.json artifacts into")
+		clock    = fs.String("clock", exp.ClockWall, "timing source: wall (measured throughput) or step (deterministic output)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var results []*exp.Result
-	switch {
-	case *list:
-		fmt.Println("tables:      1 (device components)  2 (attack surface)  3 (lightweight crypto)")
-		fmt.Println("figures:     1 (layered arch)  2 (protocol stack)  3 (attack surface map)  4 (XLF design)")
-		fmt.Println("experiments: E1 cross-layer detection   E2 traffic shaping      E3 auth delegation")
-		fmt.Println("             E4 encrypted DPI           E5 behaviour DFA        E6 core learning")
-		fmt.Println("             E7 DNS privacy bridge      E8 botnet campaign      E9 long-horizon stability")
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-3s %-11s %s\n", e.ID, e.Kind(), e.Title)
+		}
 		return 0
+	}
+
+	var selection []exp.Experiment
+	switch {
 	case *all:
-		results = exp.All(*seed)
+		selection = exp.Registry()
 	case *table != 0:
-		switch *table {
-		case 1:
-			results = append(results, exp.Table1(*seed))
-		case 2:
-			results = append(results, exp.Table2(*seed))
-		case 3:
-			results = append(results, exp.Table3())
-		default:
-			fmt.Fprintln(os.Stderr, "xlf-bench: tables are 1-3")
-			return 2
-		}
-	case *figure != 0:
-		switch *figure {
-		case 1:
-			results = append(results, exp.Figure1())
-		case 2:
-			results = append(results, exp.Figure2())
-		case 3:
-			results = append(results, exp.Figure3())
-		case 4:
-			results = append(results, exp.Figure4())
-		default:
-			fmt.Fprintln(os.Stderr, "xlf-bench: figures are 1-4")
-			return 2
-		}
-	case *expID != "":
-		fns := map[string]func() *exp.Result{
-			"E1": func() *exp.Result { return exp.E1CrossLayer(*seed) },
-			"E2": func() *exp.Result { return exp.E2Shaping(*seed) },
-			"E3": func() *exp.Result { return exp.E3Auth(*seed) },
-			"E4": func() *exp.Result { return exp.E4DPI(*seed) },
-			"E5": func() *exp.Result { return exp.E5Behavior(*seed) },
-			"E6": func() *exp.Result { return exp.E6Learning(*seed) },
-			"E7": func() *exp.Result { return exp.E7DNS(*seed) },
-			"E8": func() *exp.Result { return exp.E8Botnet(*seed) },
-			"E9": func() *exp.Result { return exp.E9Stability(*seed) },
-		}
-		fn, ok := fns[*expID]
+		e, ok := exp.ByTable(*table)
 		if !ok {
-			fmt.Fprintln(os.Stderr, "xlf-bench: experiments are E1-E9")
+			fmt.Fprintln(os.Stderr, "xlf-bench: no registry entry reproduces table", *table)
 			return 2
 		}
-		results = append(results, fn())
+		selection = append(selection, e)
+	case *figure != 0:
+		e, ok := exp.ByFigure(*figure)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "xlf-bench: no registry entry reproduces figure", *figure)
+			return 2
+		}
+		selection = append(selection, e)
+	case *expIDs != "":
+		for _, id := range strings.Split(*expIDs, ",") {
+			e, ok := exp.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "xlf-bench: unknown experiment %q (try -list)\n", strings.TrimSpace(id))
+				return 2
+			}
+			selection = append(selection, e)
+		}
 	default:
 		fs.Usage()
 		return 2
 	}
 
+	var env *exp.Env
+	switch *clock {
+	case exp.ClockWall:
+		env = exp.NewEnv(*seed)
+	case exp.ClockStep:
+		env = exp.NewStepEnv(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "xlf-bench: -clock must be %q or %q\n", exp.ClockWall, exp.ClockStep)
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "xlf-bench: -parallel must be >= 1")
+		return 2
+	}
+	env.Workers = *parallel
+
+	sched := &exp.Scheduler{Parallel: *parallel}
+	results := sched.Run(env, selection)
 	fmt.Print(exp.Render(results))
+
+	if *jsonDir != "" {
+		meta := exp.RunMeta{Seed: *seed, Parallel: *parallel, Clock: *clock}
+		paths, err := exp.WriteArtifacts(*jsonDir, results, meta)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "xlf-bench: wrote %d artifacts to %s\n", len(paths), *jsonDir)
+	}
 	return 0
 }

@@ -1,26 +1,97 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xlf/internal/exp"
+)
 
 func TestRunFlagValidation(t *testing.T) {
 	cases := []struct {
 		args []string
 		want int
 	}{
-		{[]string{}, 2},               // nothing selected
-		{[]string{"-list"}, 0},        // listing
-		{[]string{"-table", "9"}, 2},  // out of range
-		{[]string{"-figure", "0"}, 2}, // not selected -> usage
-		{[]string{"-figure", "9"}, 2}, // out of range
-		{[]string{"-exp", "E99"}, 2},  // unknown experiment
-		{[]string{"-bogusflag"}, 2},   // parse error
-		{[]string{"-figure", "2"}, 0}, // cheap figure renders
-		{[]string{"-table", "3"}, 0},  // cipher table measures
+		{[]string{}, 2},                   // nothing selected
+		{[]string{"-list"}, 0},            // listing
+		{[]string{"-table", "9"}, 2},      // out of range
+		{[]string{"-figure", "0"}, 2},     // not selected -> usage
+		{[]string{"-figure", "9"}, 2},     // out of range
+		{[]string{"-exp", "E99"}, 2},      // unknown experiment
+		{[]string{"-exp", "E4,bogus"}, 2}, // unknown member of a comma list
+		{[]string{"-exp", ""}, 2},         // empty selection
+		{[]string{"-bogusflag"}, 2},       // parse error
+		{[]string{"-figure", "2"}, 0},     // cheap figure renders
+		{[]string{"-table", "3"}, 0},      // cipher table measures
 		{[]string{"-exp", "E6", "-seed", "3"}, 0},
+		{[]string{"-exp", "T3,F2,E4"}, 0},  // comma list across kinds
+		{[]string{"-exp", " e4 , f2 "}, 0}, // whitespace and case tolerated
+		{[]string{"-exp", "E4", "-clock", "sundial"}, 2},
+		{[]string{"-exp", "E4", "-parallel", "0"}, 2},
+		{[]string{"-exp", "E4,E5", "-parallel", "4", "-clock", "step"}, 0},
 	}
 	for _, tc := range cases {
 		if got := run(tc.args); got != tc.want {
 			t.Errorf("run(%v) = %d, want %d", tc.args, got, tc.want)
 		}
+	}
+}
+
+// TestRunWritesArtifacts drives the -json flag end to end and validates
+// the written files against the schema via the exp loader.
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bench")
+	if got := run([]string{"-exp", "E4,T3", "-clock", "step", "-parallel", "2", "-seed", "7", "-json", dir}); got != 0 {
+		t.Fatalf("run = %d, want 0", got)
+	}
+	byID, ids, err := exp.ReadArtifactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("artifacts = %v, want E4 and T3", ids)
+	}
+	for _, id := range []string{"E4", "T3"} {
+		a, ok := byID[id]
+		if !ok {
+			t.Fatalf("missing artifact %s", id)
+		}
+		if a.Seed != 7 || a.Parallel != 2 || a.Clock != exp.ClockStep {
+			t.Errorf("%s metadata = %+v", id, a.RunMeta)
+		}
+		if a.Telemetry == nil || a.Telemetry.WallNS <= 0 {
+			t.Errorf("%s telemetry = %+v", id, a.Telemetry)
+		}
+		if len(a.Numbers) == 0 {
+			t.Errorf("%s has no headline numbers", id)
+		}
+	}
+	// Artifacts from the same step-clock env are reproducible: a second
+	// run must report the same output hashes.
+	dir2 := filepath.Join(t.TempDir(), "bench2")
+	if got := run([]string{"-exp", "E4,T3", "-clock", "step", "-seed", "7", "-json", dir2}); got != 0 {
+		t.Fatalf("second run failed")
+	}
+	again, _, err := exp.ReadArtifactDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if byID[id].OutputSHA256 != again[id].OutputSHA256 {
+			t.Errorf("%s: step-clock hash not reproducible", id)
+		}
+	}
+}
+
+// TestRunJSONFailure covers the artifact-write error path (exit 1, not a
+// usage error).
+func TestRunJSONFailure(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-exp", "F2", "-json", file}); got != 1 {
+		t.Errorf("run with unwritable -json dir = %d, want 1", got)
 	}
 }

@@ -87,6 +87,10 @@ var XLFLayerTable = map[string][]string{
 	"cmd/xlf-sim":    {".", "internal/analytics", "internal/attack", "internal/service"},
 	"cmd/xlf-vet":    {"internal/analysis"},
 
+	// Repo tooling: the bench-artifact differ reads exp artifacts and
+	// renders with the metrics table.
+	"scripts/bench-compare": {"internal/exp", "internal/metrics"},
+
 	"examples/botnet":         {".", "internal/attack", "internal/netsim", "internal/service"},
 	"examples/quickstart":     {".", "internal/attack", "internal/service"},
 	"examples/smarthome":      {".", "internal/analytics", "internal/attack", "internal/service"},

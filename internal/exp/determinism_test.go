@@ -1,38 +1,32 @@
 package exp
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
 
-// envFor returns an environment whose clock is fake, so timed sections
-// (Table III throughput, the E4 matching paths) report fixed durations and
-// the rendered output carries no wall-clock noise.
-func envFor(seed int64) *Env {
-	return &Env{Seed: seed, Clock: StepClock(time.Millisecond)}
-}
+// envFor returns an environment whose clock family is fake, so timed
+// sections (Table III throughput, the E4 matching paths) report fixed
+// durations and the rendered output carries no wall-clock noise. Forks
+// mint fresh step clocks, so the env is safe at any parallelism.
+func envFor(seed int64) *Env { return NewStepEnv(seed) }
 
 // TestExperimentsDeterministic is the reproduction contract made a
 // regression test: the same seed and a fake clock must render each
-// experiment byte-identically across runs.
+// experiment byte-identically across runs. The cases iterate the registry
+// rather than a hand-maintained list.
 func TestExperimentsDeterministic(t *testing.T) {
-	experiments := []struct {
-		name string
-		run  func(env *Env) *Result
-	}{
-		{"T3", Table3Env},
-		{"E3", E3AuthEnv},
-		{"E4", E4DPIEnv},
-		{"E5", E5BehaviorEnv},
-		{"E6", E6LearningEnv},
-	}
-	for _, ex := range experiments {
-		ex := ex
-		t.Run(ex.name, func(t *testing.T) {
-			a := ex.run(envFor(7)).String()
-			b := ex.run(envFor(7)).String()
+	for _, id := range []string{"T3", "E3", "E4", "E5", "E6"} {
+		ex, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("registry lost %s", id)
+		}
+		t.Run(ex.ID, func(t *testing.T) {
+			a := ex.Run(envFor(7)).String()
+			b := ex.Run(envFor(7)).String()
 			if a != b {
-				t.Errorf("%s is not deterministic:\n--- first run ---\n%s\n--- second run ---\n%s", ex.name, a, b)
+				t.Errorf("%s is not deterministic:\n--- first run ---\n%s\n--- second run ---\n%s", ex.ID, a, b)
 			}
 		})
 	}
@@ -52,6 +46,33 @@ func TestFullReportDeterministic(t *testing.T) {
 	}
 }
 
+// TestSchedulerDeterminismMatrix is the tentpole contract: at every
+// parallelism level and for every seed, the scheduled report must be
+// byte-identical to the sequential one. Each experiment (and each inner
+// sweep point) gets a forked Env with its own step clock and a restarted
+// RNG stream, so neither pool interleaving nor sweep fan-out may leak into
+// the rendered bytes.
+func TestSchedulerDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite scheduler matrix in -short mode")
+	}
+	for _, seed := range []int64{3, 11} {
+		env := envFor(seed)
+		baseline := Render((&Scheduler{Parallel: 1}).Run(env, Registry()))
+		for _, parallel := range []int{4, 16} {
+			parallel := parallel
+			t.Run(fmt.Sprintf("seed%d_parallel%d", seed, parallel), func(t *testing.T) {
+				env := envFor(seed)
+				env.Workers = parallel
+				got := Render((&Scheduler{Parallel: parallel}).Run(env, Registry()))
+				if got != baseline {
+					t.Errorf("parallel %d report differs from sequential at seed %d", parallel, seed)
+				}
+			})
+		}
+	}
+}
+
 // TestStepClock pins the fake clock's contract: fixed advance per reading.
 func TestStepClock(t *testing.T) {
 	c := StepClock(time.Second)
@@ -64,5 +85,29 @@ func TestStepClock(t *testing.T) {
 	env := &Env{Seed: 1, Clock: StepClock(time.Second)}
 	if el := env.timeSection(func() {}); el != time.Second {
 		t.Fatalf("timeSection elapsed = %v, want 1s", el)
+	}
+}
+
+// TestEnvFork pins Fork's isolation contract: forks of a factory-backed
+// env get independent clocks; forks of a bare env share the parent's.
+func TestEnvFork(t *testing.T) {
+	env := NewStepEnv(1)
+	a, b := env.Fork(), env.Fork()
+	if got := a.Clock(); got != time.Millisecond {
+		t.Errorf("forked clock first reading = %v, want 1ms", got)
+	}
+	// b's clock must not have advanced with a's.
+	if got := b.Clock(); got != time.Millisecond {
+		t.Errorf("sibling fork clock = %v, want independent 1ms", got)
+	}
+
+	shared := &Env{Seed: 1, Clock: StepClock(time.Millisecond), Workers: 4}
+	c, d := shared.Fork(), shared.Fork()
+	c.Clock()
+	if got := d.Clock(); got != 2*time.Millisecond {
+		t.Errorf("bare-env forks should share a clock; got %v, want 2ms", got)
+	}
+	if c.Workers != 4 || c.Seed != 1 {
+		t.Errorf("fork lost fields: %+v", c)
 	}
 }

@@ -16,11 +16,19 @@ import (
 // attacks), per-device detection F1 for the device-only, network-only and
 // service-only ablations versus the full cross-layer XLF Core, plus a
 // no-corroboration-bonus ablation of the correlation window.
+//
+// Deprecated: resolve the "E1" registry entry instead.
 func E1CrossLayer(seed int64) *Result { return E1CrossLayerEnv(NewEnv(seed)) }
 
 // E1CrossLayerEnv is E1CrossLayer under an explicit environment.
-func E1CrossLayerEnv(env *Env) *Result {
-	seed := env.Seed
+//
+// Deprecated: resolve the "E1" registry entry instead.
+func E1CrossLayerEnv(env *Env) *Result { return runE1(env) }
+
+// runE1 is the E1 registry entry. Both ablation grids — the layer configs
+// and the correlation windows — are independent sweep points (each builds
+// its own system from the seed), so they fan out across env.Workers.
+func runE1(env *Env) *Result {
 	r := &Result{ID: "E1", Title: "Cross-layer vs single-layer detection (per-device F1)"}
 
 	type config struct {
@@ -36,25 +44,39 @@ func E1CrossLayerEnv(env *Env) *Result {
 		{"xlf-full", nil, 0.25},
 	}
 
+	type e1Point struct {
+		conf              metrics.Confusion
+		alerts, contained int
+	}
+	points := Sweep(env, len(configs), func(i int, env *Env) e1Point {
+		conf, alerts, contained := runE1Config(env.Seed, configs[i].layers, configs[i].bonus, 0)
+		return e1Point{conf, alerts, contained}
+	})
+
 	t := metrics.NewTable("", "Configuration", "Precision", "Recall", "F1", "Alerts", "Contained")
-	for _, cfg := range configs {
-		conf, alerts, contained := runE1Config(seed, cfg.layers, cfg.bonus, 0)
+	for i, cfg := range configs {
+		p := points[i]
 		t.AddRow(cfg.name,
-			fmt.Sprintf("%.3f", conf.Precision()),
-			fmt.Sprintf("%.3f", conf.Recall()),
-			fmt.Sprintf("%.3f", conf.F1()),
-			fmt.Sprint(alerts), fmt.Sprint(contained))
-		r.num("f1_"+cfg.name, conf.F1())
-		r.num("recall_"+cfg.name, conf.Recall())
-		r.num("precision_"+cfg.name, conf.Precision())
+			fmt.Sprintf("%.3f", p.conf.Precision()),
+			fmt.Sprintf("%.3f", p.conf.Recall()),
+			fmt.Sprintf("%.3f", p.conf.F1()),
+			fmt.Sprint(p.alerts), fmt.Sprint(p.contained))
+		r.num("f1_"+cfg.name, p.conf.F1())
+		r.num("recall_"+cfg.name, p.conf.Recall())
+		r.num("precision_"+cfg.name, p.conf.Precision())
 	}
 
 	// Ablation: correlation window size (full XLF). Evidence from
 	// different layers arrives seconds-to-minutes apart (attestation is
 	// periodic); too narrow a window forfeits corroboration.
+	windows := []time.Duration{5 * time.Second, 30 * time.Second, 2 * time.Minute, 10 * time.Minute}
+	wpoints := Sweep(env, len(windows), func(i int, env *Env) metrics.Confusion {
+		conf, _, _ := runE1Config(env.Seed, nil, 0.25, windows[i])
+		return conf
+	})
 	wt := metrics.NewTable("", "Window", "Precision", "Recall", "F1")
-	for _, w := range []time.Duration{5 * time.Second, 30 * time.Second, 2 * time.Minute, 10 * time.Minute} {
-		conf, _, _ := runE1Config(seed, nil, 0.25, w)
+	for i, w := range windows {
+		conf := wpoints[i]
 		wt.AddRow(w.String(),
 			fmt.Sprintf("%.3f", conf.Precision()),
 			fmt.Sprintf("%.3f", conf.Recall()),

@@ -14,16 +14,27 @@ import (
 // adversary's device-identification confidence and event-inference
 // precision/recall against the bandwidth overhead and added latency — the
 // §IV-B1 trade-off curve.
+//
+// Deprecated: resolve the "E2" registry entry instead.
 func E2Shaping(seed int64) *Result { return E2ShapingEnv(NewEnv(seed)) }
 
 // E2ShapingEnv is E2Shaping under an explicit environment.
-func E2ShapingEnv(env *Env) *Result {
-	seed := env.Seed
+//
+// Deprecated: resolve the "E2" registry entry instead.
+func E2ShapingEnv(env *Env) *Result { return runE2(env) }
+
+// runE2 is the E2 registry entry. Each intensity level builds its own
+// simulated home from the seed, so the grid fans out across env.Workers.
+func runE2(env *Env) *Result {
 	r := &Result{ID: "E2", Title: "Traffic shaping: adversary confidence vs bandwidth overhead"}
 	t := metrics.NewTable("", "Intensity", "Mode", "IdentConf", "EventPrec", "EventRecall", "Overhead", "MeanDelay")
 
-	for _, intensity := range []float64{0, 0.2, 0.5, 0.7, 0.85, 1.0} {
-		row := runE2(seed, intensity)
+	intensities := []float64{0, 0.2, 0.5, 0.7, 0.85, 1.0}
+	rows := Sweep(env, len(intensities), func(i int, env *Env) e2Row {
+		return e2Point(env.Seed, intensities[i])
+	})
+	for i, intensity := range intensities {
+		row := rows[i]
 		t.AddRow(
 			fmt.Sprintf("%.2f", intensity), row.mode,
 			fmt.Sprintf("%.2f", row.identConf),
@@ -51,9 +62,9 @@ type e2Row struct {
 	meanDelay time.Duration
 }
 
-// runE2 builds a camera home with ground-truth events and measures the
+// e2Point builds a camera home with ground-truth events and measures the
 // adversary at one shaping level.
-func runE2(seed int64, intensity float64) e2Row {
+func e2Point(seed int64, intensity float64) e2Row {
 	k := sim.NewKernel(seed)
 	n := netsim.New(k)
 	gw := netsim.NewGateway("lan:gw", "wan:home")

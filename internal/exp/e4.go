@@ -11,11 +11,17 @@ import (
 // matching throughput of plaintext Aho-Corasick versus BlindBox-style
 // searchable-encryption token matching over the same payload corpus, plus
 // detection equivalence between the two paths.
+// Deprecated: resolve the "E4" registry entry instead.
 func E4DPI(seed int64) *Result { return E4DPIEnv(NewEnv(seed)) }
 
-// E4DPIEnv is E4DPI under an explicit environment; all three matching
-// stages are timed on env.Clock.
-func E4DPIEnv(env *Env) *Result {
+// E4DPIEnv is E4DPI under an explicit environment.
+//
+// Deprecated: resolve the "E4" registry entry instead.
+func E4DPIEnv(env *Env) *Result { return runE4(env) }
+
+// runE4 is the E4 registry entry; all three matching stages are timed on
+// env.Clock, so the stages stay sequential (they share the clock).
+func runE4(env *Env) *Result {
 	r := &Result{ID: "E4", Title: "Encrypted DPI: plaintext vs searchable-encryption matching"}
 	rs, err := dpi.NewRuleSet(dpi.IoTMalwareRules())
 	if err != nil {

@@ -13,10 +13,18 @@ import (
 // fed through the per-device DFA, and spoof-detection F1 as the outcome.
 // The edit-distance threshold is swept as the ablation DESIGN.md calls
 // out.
+// Deprecated: resolve the "E5" registry entry instead.
 func E5Behavior(seed int64) *Result { return E5BehaviorEnv(NewEnv(seed)) }
 
 // E5BehaviorEnv is E5Behavior under an explicit environment.
-func E5BehaviorEnv(env *Env) *Result {
+//
+// Deprecated: resolve the "E5" registry entry instead.
+func E5BehaviorEnv(env *Env) *Result { return runE5(env) }
+
+// runE5 is the E5 registry entry. The noise × threshold grid is flattened
+// into independent sweep points (each restarts the seed's RNG stream), so
+// it fans out across env.Workers.
+func runE5(env *Env) *Result {
 	r := &Result{ID: "E5", Title: "Behaviour DFA: spoof detection under fingerprint noise"}
 
 	prints := []behavior.Fingerprint{
@@ -27,21 +35,38 @@ func E5BehaviorEnv(env *Env) *Result {
 		{Event: "clear", Seq: []int{8, 2, 2, 4, 1}},
 	}
 
-	t := metrics.NewTable("", "Noise", "Threshold%", "ClassifyAcc", "SpoofPrec", "SpoofRecall", "SpoofF1")
+	type e5Grid struct {
+		noise float64
+		thr   int
+	}
+	var grid []e5Grid
 	for _, noise := range []float64{0, 0.1, 0.2, 0.35} {
 		for _, thr := range []int{20, 40, 60} {
-			acc, conf := runE5(env, prints, noise, thr)
-			t.AddRow(
-				fmt.Sprintf("%.2f", noise), fmt.Sprint(thr),
-				fmt.Sprintf("%.3f", acc),
-				fmt.Sprintf("%.3f", conf.Precision()),
-				fmt.Sprintf("%.3f", conf.Recall()),
-				fmt.Sprintf("%.3f", conf.F1()),
-			)
-			if thr == 40 {
-				r.num(fmt.Sprintf("f1_noise_%.2f", noise), conf.F1())
-				r.num(fmt.Sprintf("acc_noise_%.2f", noise), acc)
-			}
+			grid = append(grid, e5Grid{noise, thr})
+		}
+	}
+	type e5Out struct {
+		acc  float64
+		conf metrics.Confusion
+	}
+	points := Sweep(env, len(grid), func(i int, env *Env) e5Out {
+		acc, conf := e5Point(env, prints, grid[i].noise, grid[i].thr)
+		return e5Out{acc, conf}
+	})
+
+	t := metrics.NewTable("", "Noise", "Threshold%", "ClassifyAcc", "SpoofPrec", "SpoofRecall", "SpoofF1")
+	for i, g := range grid {
+		acc, conf := points[i].acc, points[i].conf
+		t.AddRow(
+			fmt.Sprintf("%.2f", g.noise), fmt.Sprint(g.thr),
+			fmt.Sprintf("%.3f", acc),
+			fmt.Sprintf("%.3f", conf.Precision()),
+			fmt.Sprintf("%.3f", conf.Recall()),
+			fmt.Sprintf("%.3f", conf.F1()),
+		)
+		if g.thr == 40 {
+			r.num(fmt.Sprintf("f1_noise_%.2f", g.noise), conf.F1())
+			r.num(fmt.Sprintf("acc_noise_%.2f", g.noise), acc)
 		}
 	}
 	r.Output = t.String() +
@@ -50,7 +75,7 @@ func E5BehaviorEnv(env *Env) *Result {
 	return r
 }
 
-func runE5(env *Env, prints []behavior.Fingerprint, noise float64, thresholdPct int) (float64, metrics.Confusion) {
+func e5Point(env *Env, prints []behavior.Fingerprint, noise float64, thresholdPct int) (float64, metrics.Confusion) {
 	lib, err := behavior.NewLibrary(prints, thresholdPct, true)
 	if err != nil {
 		panic(err)

@@ -18,11 +18,17 @@ import (
 // latency, name exposure to observers, off-path poisoning success, and the
 // device-side crypto cost on a Table I bulb-class device (the feasibility
 // argument for the bridge).
+// Deprecated: resolve the "E7" registry entry instead.
 func E7DNS(seed int64) *Result { return E7DNSEnv(NewEnv(seed)) }
 
 // E7DNSEnv is E7DNS under an explicit environment.
-func E7DNSEnv(env *Env) *Result {
-	seed := env.Seed
+//
+// Deprecated: resolve the "E7" registry entry instead.
+func E7DNSEnv(env *Env) *Result { return runE7(env) }
+
+// runE7 is the E7 registry entry. Each DNS mode simulates its own home
+// from the seed, so the three modes fan out across env.Workers.
+func runE7(env *Env) *Result {
 	r := &Result{ID: "E7", Title: "DNS privacy: plain vs DoT vs XLF lightweight bridge"}
 	t := metrics.NewTable("", "Mode", "MeanLatency", "NamesVisible", "PoisonSucceeds", "BulbCryptoCost/query")
 
@@ -40,8 +46,18 @@ func E7DNSEnv(env *Env) *Result {
 	dotCost := device.CostModel(bulb, aes.CyclesPerByte, aes.RAMBytes).SecondsPerKB * 2
 	bridgeCost := device.CostModel(bulb, present.CyclesPerByte, present.RAMBytes).SecondsPerKB * 120 / 1024
 
-	for _, mode := range []string{"DNS", "DoT", "XLF-bridge"} {
-		lat, visible, poisoned := runE7(seed, mode)
+	modes := []string{"DNS", "DoT", "XLF-bridge"}
+	type e7Out struct {
+		lat      time.Duration
+		visible  int
+		poisoned bool
+	}
+	points := Sweep(env, len(modes), func(i int, env *Env) e7Out {
+		lat, visible, poisoned := e7Mode(env.Seed, modes[i])
+		return e7Out{lat, visible, poisoned}
+	})
+	for i, mode := range modes {
+		lat, visible, poisoned := points[i].lat, points[i].visible, points[i].poisoned
 		cost := "none (gateway resolves)"
 		switch mode {
 		case "DoT":
@@ -63,9 +79,9 @@ func E7DNSEnv(env *Env) *Result {
 	return r
 }
 
-// runE7 resolves a set of vendor domains under one mode and measures mean
+// e7Mode resolves a set of vendor domains under one mode and measures mean
 // latency, observer-visible names, and off-path poisoning success.
-func runE7(seed int64, mode string) (time.Duration, int, bool) {
+func e7Mode(seed int64, mode string) (time.Duration, int, bool) {
 	k := sim.NewKernel(seed)
 	n := netsim.New(k)
 	names := []string{"api.nest.example", "dropcam.example", "bridge.hue.example", "food.fridge.example"}

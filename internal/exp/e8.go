@@ -14,16 +14,26 @@ import (
 // DDoS) against the unprotected home and the XLF home, reporting time to
 // detection, time to containment, C&C beacons escaped, and flood packets
 // delivered to the victim — §III-B's "army" threat end to end.
+// Deprecated: resolve the "E8" registry entry instead.
 func E8Botnet(seed int64) *Result { return E8BotnetEnv(NewEnv(seed)) }
 
 // E8BotnetEnv is E8Botnet under an explicit environment.
-func E8BotnetEnv(env *Env) *Result {
-	seed := env.Seed
+//
+// Deprecated: resolve the "E8" registry entry instead.
+func E8BotnetEnv(env *Env) *Result { return runE8(env) }
+
+// runE8 is the E8 registry entry. The unprotected and protected homes are
+// independent simulations of the same seed, so both run as sweep points.
+func runE8(env *Env) *Result {
 	r := &Result{ID: "E8", Title: "Botnet campaign: unprotected vs XLF (containment timeline)"}
 	t := metrics.NewTable("", "Home", "Recruited", "DetectedAt", "ContainedAt", "BeaconsEscaped", "FloodPktsDelivered")
 
-	for _, protected := range []bool{false, true} {
-		row := runE8(seed, protected)
+	homes := []bool{false, true}
+	rows := Sweep(env, len(homes), func(i int, env *Env) e8Row {
+		return e8Home(env.Seed, homes[i])
+	})
+	for i, protected := range homes {
+		row := rows[i]
 		name := "unprotected"
 		if protected {
 			name = "xlf"
@@ -52,7 +62,7 @@ type e8Row struct {
 	floodPkts   int
 }
 
-func runE8(seed int64, protected bool) e8Row {
+func e8Home(seed int64, protected bool) e8Row {
 	sys, err := xlf.New(xlf.Options{
 		Seed:              seed,
 		Flaws:             vulnerableFlaws(),

@@ -35,16 +35,52 @@ func StepClock(step time.Duration) Clock {
 }
 
 // Env carries everything an experiment depends on besides its inputs: the
-// seed for its random streams and the clock for throughput timing. Every
-// experiment is a pure function of its Env.
+// seed for its random streams, the clock for throughput timing, and the
+// worker budget for inner parameter sweeps. Every experiment is a pure
+// function of its Env.
 type Env struct {
 	Seed  int64
 	Clock Clock
+
+	// ClockFactory, when set, supplies an independent Clock for every
+	// Fork. Clocks are stateful closures, so concurrent experiments must
+	// not share one: the scheduler forks the root Env per experiment (and
+	// Sweep per sweep point) and relies on this factory for isolation.
+	// When nil, Fork reuses Clock and only sequential execution is safe.
+	ClockFactory func() Clock
+
+	// Workers bounds the fan-out of inner parameter sweeps (see Sweep).
+	// Zero or one means sequential.
+	Workers int
 }
 
 // NewEnv returns the standard environment: seeded randomness and
 // wall-clock throughput timing.
-func NewEnv(seed int64) *Env { return &Env{Seed: seed, Clock: WallClock()} }
+func NewEnv(seed int64) *Env {
+	return &Env{Seed: seed, Clock: WallClock(), ClockFactory: WallClock}
+}
+
+// NewStepEnv returns a fully deterministic environment: seeded randomness
+// and a fixed fake clock, so every timed section reports the same elapsed
+// time and the rendered report is byte-identical across runs and across
+// -parallel levels. cmd/xlf-bench's -clock step mode and the determinism
+// tests use it.
+func NewStepEnv(seed int64) *Env {
+	factory := func() Clock { return StepClock(time.Millisecond) }
+	return &Env{Seed: seed, Clock: factory(), ClockFactory: factory}
+}
+
+// Fork returns an independent child environment: same seed and worker
+// budget, with a fresh clock from ClockFactory when one is present. The
+// scheduler forks once per experiment and Sweep once per sweep point, so
+// no two goroutines ever share a clock closure.
+func (e *Env) Fork() *Env {
+	out := &Env{Seed: e.Seed, Clock: e.Clock, ClockFactory: e.ClockFactory, Workers: e.Workers}
+	if e.ClockFactory != nil {
+		out.Clock = e.ClockFactory()
+	}
+	return out
+}
 
 // Rand returns a fresh deterministic generator for the experiment's seed.
 // Each call restarts the stream, so experiments cannot leak RNG state into

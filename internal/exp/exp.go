@@ -22,6 +22,11 @@ type Result struct {
 	Output string
 	// Numbers holds headline metrics by name for tests/benches.
 	Numbers map[string]float64
+	// Telemetry is attached by the scheduler (wall time, allocations) and
+	// serialized into BENCH artifacts. It is deliberately excluded from
+	// String(): rendered reports stay byte-identical across machines and
+	// parallelism levels.
+	Telemetry *Telemetry
 }
 
 func (r *Result) String() string {
@@ -67,27 +72,11 @@ func scenarioAttacks() ([]attack.Attack, map[string]bool) {
 // environment, in report order.
 func All(seed int64) []*Result { return AllEnv(NewEnv(seed)) }
 
-// AllEnv runs every experiment under env, in report order. With a fake
-// clock (StepClock) the whole report replays byte-identically.
+// AllEnv runs every registry entry under env, in report order. With a
+// deterministic clock family (NewStepEnv) the whole report replays
+// byte-identically at any parallelism.
 func AllEnv(env *Env) []*Result {
-	return []*Result{
-		Table1Env(env),
-		Table2Env(env),
-		Table3Env(env),
-		Figure1(),
-		Figure2(),
-		Figure3(),
-		Figure4(),
-		E1CrossLayerEnv(env),
-		E2ShapingEnv(env),
-		E3AuthEnv(env),
-		E4DPIEnv(env),
-		E5BehaviorEnv(env),
-		E6LearningEnv(env),
-		E7DNSEnv(env),
-		E8BotnetEnv(env),
-		E9StabilityEnv(env),
-	}
+	return (&Scheduler{Parallel: 1}).Run(env, Registry())
 }
 
 // Render formats a set of results as one report.

@@ -1,0 +1,104 @@
+package exp
+
+import "testing"
+
+// TestRegistryShape pins the registry as the single source of truth: one
+// entry per report section, report order, resolvable by ID, table and
+// figure number.
+func TestRegistryShape(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		e := reg[i]
+		if e.ID != id {
+			t.Errorf("entry %d is %s, want %s", i, e.ID, id)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete descriptor %+v", id, e)
+		}
+		got, ok := Lookup(id)
+		if !ok || got.ID != id {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	for n := 1; n <= 3; n++ {
+		if e, ok := ByTable(n); !ok || e.Kind() != "table" {
+			t.Errorf("ByTable(%d) failed", n)
+		}
+	}
+	for n := 1; n <= 4; n++ {
+		if e, ok := ByFigure(n); !ok || e.Kind() != "figure" {
+			t.Errorf("ByFigure(%d) failed", n)
+		}
+	}
+	if _, ok := ByTable(9); ok {
+		t.Error("ByTable(9) resolved")
+	}
+	if _, ok := ByFigure(9); ok {
+		t.Error("ByFigure(9) resolved")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("Lookup(E99) resolved")
+	}
+	if e, ok := Lookup(" e4 "); !ok || e.ID != "E4" {
+		t.Error("Lookup should be case- and space-insensitive")
+	}
+	if k := mustLookup(t, "E4").Kind(); k != "experiment" {
+		t.Errorf("E4 kind = %q", k)
+	}
+}
+
+func mustLookup(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("registry lost %s", id)
+	}
+	return e
+}
+
+// TestRegistryRunsMatchDeprecatedWrappers keeps the one-release
+// compatibility promise: the deprecated twin functions and the registry
+// entries must render the same bytes for the same env.
+func TestRegistryRunsMatchDeprecatedWrappers(t *testing.T) {
+	cases := []struct {
+		id  string
+		old func(*Env) *Result
+	}{
+		{"T3", Table3Env},
+		{"E3", E3AuthEnv},
+		{"E4", E4DPIEnv},
+		{"E5", E5BehaviorEnv},
+		{"E6", E6LearningEnv},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			viaRegistry := mustLookup(t, tc.id).Run(NewStepEnv(4)).String()
+			viaWrapper := tc.old(NewStepEnv(4)).String()
+			if viaRegistry != viaWrapper {
+				t.Errorf("%s: registry and deprecated wrapper disagree", tc.id)
+			}
+		})
+	}
+}
+
+// TestResultIDsMatchRegistry asserts every entry renders a Result carrying
+// its own ID and title, which the artifact layer keys on.
+func TestResultIDsMatchRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep in -short mode")
+	}
+	for _, e := range Registry() {
+		r := e.Run(NewStepEnv(1))
+		if r.ID != e.ID {
+			t.Errorf("%s rendered result ID %q", e.ID, r.ID)
+		}
+		if r.Title != e.Title {
+			t.Errorf("%s rendered title %q, registry says %q", e.ID, r.Title, e.Title)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Telemetry is the scheduler's per-experiment measurement: how long the
+// run took and what it allocated. It feeds the BENCH_<id>.json artifacts
+// only — Result.String() never renders it, so telemetry cannot break the
+// byte-identity contract between runs.
+type Telemetry struct {
+	// WallNS is the experiment's wall-clock duration in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// AllocBytes and Allocs are heap-allocation deltas over the run,
+	// measured from runtime.MemStats. Attribution is only exact when one
+	// experiment runs at a time, so parallel schedules record -1.
+	AllocBytes int64 `json:"alloc_bytes"`
+	Allocs     int64 `json:"allocs"`
+}
+
+// Scheduler fans experiments out across a bounded worker pool. Results
+// come back in input order regardless of completion order, and every
+// experiment runs under its own forked Env (fresh clock, restarted RNG
+// streams), so a parallel schedule renders byte-identically to the
+// sequential one whenever the env's clock family is deterministic.
+type Scheduler struct {
+	// Parallel is the worker count; values below one mean sequential.
+	Parallel int
+}
+
+// workers clamps the pool size for n jobs under env: never more workers
+// than jobs, and strictly sequential when the env cannot mint independent
+// clocks (forks would share one stateful clock closure, a data race).
+func (s *Scheduler) workers(env *Env, n int) int {
+	w := s.Parallel
+	if w < 1 || env.ClockFactory == nil {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes the given experiments and returns their results in input
+// order. Each worker pulls the next job index from a shared channel, so a
+// slow experiment (T2, E9) never blocks the rest of the pool.
+func (s *Scheduler) Run(env *Env, exps []Experiment) []*Result {
+	n := len(exps)
+	results := make([]*Result, n)
+	w := s.workers(env, n)
+	if w == 1 {
+		for i, ex := range exps {
+			results[i] = runMeasured(ex, env.Fork(), true)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runMeasured(exps[i], env.Fork(), false)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runMeasured executes one experiment and attaches telemetry. Wall time is
+// a sanctioned measurement read; allocation deltas are only recorded when
+// the run is exclusive (exact), since MemStats is process-global.
+func runMeasured(ex Experiment, env *Env, exclusive bool) *Result {
+	tel := &Telemetry{AllocBytes: -1, Allocs: -1}
+	var m0 runtime.MemStats
+	if exclusive {
+		runtime.ReadMemStats(&m0)
+	}
+	start := time.Now() //xlf:allow-wallclock telemetry timing source
+	r := ex.Run(env)
+	tel.WallNS = time.Since(start).Nanoseconds() //xlf:allow-wallclock telemetry timing source
+	if exclusive {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		tel.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+		tel.Allocs = int64(m1.Mallocs - m0.Mallocs)
+	}
+	r.Telemetry = tel
+	return r
+}
+
+// Sweep fans an experiment's inner parameter grid (E1's ablation configs,
+// E2's shaping intensities, ...) across the env's worker budget and
+// returns the point results in index order. Every point receives its own
+// forked Env, so points are as isolated from each other as experiments
+// are and the fan-out cannot change rendered output.
+func Sweep[T any](env *Env, n int, point func(i int, env *Env) T) []T {
+	out := make([]T, n)
+	w := env.Workers
+	if w < 1 || env.ClockFactory == nil {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := range out {
+			out[i] = point(i, env.Fork())
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = point(i, env.Fork())
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -20,10 +20,17 @@ import (
 // cheapest Table III cipher that fits, and modeled AES-128 software time —
 // computation, storage and power "limit the security functions that can be
 // implemented on the device".
+//
+// Deprecated: resolve the "T1" registry entry instead.
 func Table1(seed int64) *Result { return Table1Env(NewEnv(seed)) }
 
 // Table1Env is Table1 under an explicit environment.
-func Table1Env(env *Env) *Result {
+//
+// Deprecated: resolve the "T1" registry entry instead.
+func Table1Env(env *Env) *Result { return runTable1(env) }
+
+// runTable1 is the T1 registry entry.
+func runTable1(env *Env) *Result {
 	r := &Result{ID: "T1", Title: "Device-layer components (paper Table I) + crypto feasibility"}
 	reg := lwc.NewRegistry()
 	aes, _ := reg.Lookup("AES")
@@ -119,23 +126,40 @@ func memShort(v int64) string {
 // against the vulnerable home, against the hardened platform (signed OTA,
 // fine-grained grants, signed events), and under the full XLF runtime —
 // reporting the paper's triple plus each outcome.
+//
+// Deprecated: resolve the "T2" registry entry instead.
 func Table2(seed int64) *Result { return Table2Env(NewEnv(seed)) }
 
 // Table2Env is Table2 under an explicit environment.
-func Table2Env(env *Env) *Result {
-	seed := env.Seed
+//
+// Deprecated: resolve the "T2" registry entry instead.
+func Table2Env(env *Env) *Result { return runTable2(env) }
+
+// runTable2 is the T2 registry entry. Each attack's three-way execution
+// (vulnerable home, hardened platform, full XLF) is an independent sweep
+// point, so the row grid fans out across the env's worker budget.
+func runTable2(env *Env) *Result {
 	r := &Result{ID: "T2", Title: "Device-layer attack surface (paper Table II), executed"}
 	t := metrics.NewTable("", "Device", "Vulnerability", "Attack", "Impact", "Vulnerable home", "Hardened platform", "XLF detects")
 
-	succVuln, succHard, detected := 0, 0, 0
-	for _, a := range attack.TableIIAttacks() {
+	type t2Row struct {
+		cells                       [7]string
+		succVuln, succHard, detects bool
+		err                         error
+	}
+	rows := Sweep(env, len(attack.TableIIAttacks()), func(i int, env *Env) t2Row {
+		// Each point re-derives its own attack instance: attacks carry
+		// execution state, so sweep points must not share them.
+		a := attack.TableIIAttacks()[i]
+		seed := env.Seed
 		vuln, method, impact := a.TableII()
+		var row t2Row
 
 		// Vulnerable home: no XLF, flawed platform.
 		hv, err := testbed.New(testbed.Config{Seed: seed, Flaws: vulnerableFlaws()})
 		if err != nil {
-			r.Output = err.Error()
-			return r
+			row.err = err
+			return row
 		}
 		resV := a.Execute(hv.AttackEnv())
 		hv.Run(30 * time.Second)
@@ -143,8 +167,8 @@ func Table2Env(env *Env) *Result {
 		// Hardened platform: signed OTA, fine-grained grants, DoT.
 		hx, err := testbed.New(testbed.Config{Seed: seed, ResolverMode: "DoT"})
 		if err != nil {
-			r.Output = err.Error()
-			return r
+			row.err = err
+			return row
 		}
 		resX := a.Execute(hx.AttackEnv())
 		hx.Run(30 * time.Second)
@@ -154,24 +178,38 @@ func Table2Env(env *Env) *Result {
 		// the underlying flaw?
 		sys, err := xlf.New(xlf.Options{Seed: seed, Flaws: vulnerableFlaws()})
 		if err != nil {
-			r.Output = err.Error()
-			return r
+			row.err = err
+			return row
 		}
 		a.Execute(sys.Home.AttackEnv())
 		sys.Home.Run(2 * time.Minute)
 		det := "missed"
 		if len(sys.Core.Alerts()) > 0 {
 			det = "DETECTED"
-			detected++
+			row.detects = true
 		}
+		row.succVuln = resV.Succeeded
+		row.succHard = resX.Succeeded
+		row.cells = [7]string{targetOf(a), vuln, method, impact, outcome(resV), outcome(resX), det}
+		return row
+	})
 
-		if resV.Succeeded {
+	succVuln, succHard, detected := 0, 0, 0
+	for _, row := range rows {
+		if row.err != nil {
+			r.Output = row.err.Error()
+			return r
+		}
+		if row.succVuln {
 			succVuln++
 		}
-		if resX.Succeeded {
+		if row.succHard {
 			succHard++
 		}
-		t.AddRow(targetOf(a), vuln, method, impact, outcome(resV), outcome(resX), det)
+		if row.detects {
+			detected++
+		}
+		t.AddRow(row.cells[:]...)
 	}
 	t.Title = fmt.Sprintf("(vulnerable home: %d/7 succeed; hardened: %d/7 succeed; XLF detects %d/7)",
 		succVuln, succHard, detected)
@@ -214,11 +252,18 @@ func outcome(res attack.Result) string {
 // Table3 regenerates Table III from the cipher registry and adds measured
 // software throughput for each algorithm (the NIST IR 8114 software
 // metric), which the device cost model consumes.
+//
+// Deprecated: resolve the "T3" registry entry instead.
 func Table3() *Result { return Table3Env(NewEnv(1)) }
 
 // Table3Env is Table3 under an explicit environment; the throughput
 // column is timed on env.Clock.
-func Table3Env(env *Env) *Result {
+//
+// Deprecated: resolve the "T3" registry entry instead.
+func Table3Env(env *Env) *Result { return runTable3(env) }
+
+// runTable3 is the T3 registry entry.
+func runTable3(env *Env) *Result {
 	r := &Result{ID: "T3", Title: "Lightweight cryptographic algorithms (paper Table III), measured"}
 	reg := lwc.NewRegistry()
 	t := metrics.NewTable("", "Algorithm", "Key Size", "Block", "Structure", "Rounds", "KAT", "MB/s (this host)")

@@ -101,21 +101,32 @@ func (l *Latencies) Mean() time.Duration {
 	return sum / time.Duration(len(l.samples))
 }
 
-// Quantile returns the q-quantile (q in [0,1]) by nearest-rank.
+// Quantile returns the q-quantile by linear interpolation between closest
+// ranks (the R-7 / NumPy "linear" definition): position q*(n-1) in the
+// sorted samples, interpolating between neighbours when it falls between
+// two ranks. Out-of-range q clamps to the extremes (NaN behaves like 0),
+// the empty summary reports 0, and a single sample is every quantile of
+// itself.
 func (l *Latencies) Quantile(q float64) time.Duration {
-	if len(l.samples) == 0 {
+	n := len(l.samples)
+	if n == 0 {
 		return 0
 	}
 	sorted := append([]time.Duration(nil), l.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
+	if !(q > 0) { // catches q <= 0 and NaN
+		return sorted[0]
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if q >= 1 {
+		return sorted[n-1]
 	}
-	return sorted[idx]
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if frac == 0 || lo+1 >= n {
+		return sorted[lo]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
 }
 
 // String summarises mean/p50/p95/p99.

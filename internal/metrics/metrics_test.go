@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -71,17 +72,55 @@ func TestLatencies(t *testing.T) {
 	if m := l.Mean(); m != 50500*time.Microsecond {
 		t.Errorf("mean = %v", m)
 	}
-	if p50 := l.Quantile(0.5); p50 != 50*time.Millisecond {
-		t.Errorf("p50 = %v", p50)
+	// Interpolated ranks over 1..100ms: position q*(n-1).
+	if p50 := l.Quantile(0.5); p50 != 50500*time.Microsecond {
+		t.Errorf("p50 = %v, want 50.5ms", p50)
 	}
-	if p99 := l.Quantile(0.99); p99 != 99*time.Millisecond {
-		t.Errorf("p99 = %v", p99)
+	if p99 := l.Quantile(0.99); p99 != 99010*time.Microsecond {
+		t.Errorf("p99 = %v, want 99.01ms", p99)
 	}
 	if p0 := l.Quantile(0); p0 != time.Millisecond {
 		t.Errorf("p0 = %v", p0)
 	}
 	if p100 := l.Quantile(1); p100 != 100*time.Millisecond {
 		t.Errorf("p100 = %v", p100)
+	}
+}
+
+// TestQuantileInterpolation pins the R-7 linear-interpolation definition
+// and the empty/single-sample edge cases the experiment reports rely on.
+func TestQuantileInterpolation(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		want    time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty p99", nil, 0.99, 0},
+		{"single median", []time.Duration{7 * time.Millisecond}, 0.5, 7 * time.Millisecond},
+		{"single p0", []time.Duration{7 * time.Millisecond}, 0, 7 * time.Millisecond},
+		{"single p100", []time.Duration{7 * time.Millisecond}, 1, 7 * time.Millisecond},
+		{"pair median", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}, 0.5, 15 * time.Millisecond},
+		{"pair p25", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}, 0.25, 12500 * time.Microsecond},
+		{"triple exact rank", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}, 0.5, 20 * time.Millisecond},
+		{"triple p75 interpolates", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}, 0.75, 30 * time.Millisecond},
+		{"unsorted input", []time.Duration{40 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}, 0.75, 30 * time.Millisecond},
+		{"clamp below", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}, -0.5, 10 * time.Millisecond},
+		{"clamp above", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}, 1.5, 20 * time.Millisecond},
+		{"nan is min", []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}, math.NaN(), 10 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var l Latencies
+			for _, s := range tc.samples {
+				l.Observe(s)
+			}
+			if got := l.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) over %v = %v, want %v", tc.q, tc.samples, got, tc.want)
+			}
+		})
 	}
 }
 

@@ -34,4 +34,22 @@ go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
 echo '>> xlf-vet ./...'
 go run ./cmd/xlf-vet ./...
 
+# Scheduler determinism: the full report rendered at -parallel 8 must be
+# byte-identical to the sequential run under the step clock, with the
+# worker pool running under the race detector.
+echo '>> xlf-bench determinism (parallel 8 vs sequential, race detector)'
+benchdir=$(mktemp -d)
+trap 'rm -rf "$benchdir"' EXIT
+go run -race ./cmd/xlf-bench -all -clock step -seed 1 -parallel 1 \
+	-json "$benchdir/sequential" >"$benchdir/report-sequential.txt"
+go run -race ./cmd/xlf-bench -all -clock step -seed 1 -parallel 8 \
+	-json "$benchdir/parallel" >"$benchdir/report-parallel.txt"
+cmp "$benchdir/report-sequential.txt" "$benchdir/report-parallel.txt"
+
+# Non-blocking: the artifact differ reports drift between the two runs
+# (step-clock hashes must match; wall-clock ratios are informational).
+echo '>> bench-compare (non-blocking)'
+go run ./scripts/bench-compare -base "$benchdir/sequential" -new "$benchdir/parallel" ||
+	echo 'bench-compare: drift noted (non-blocking)'
+
 echo 'all checks passed'
