@@ -15,6 +15,7 @@ import (
 	"xlf/internal/core"
 	"xlf/internal/exp"
 	"xlf/internal/lwc"
+	"xlf/internal/obs"
 	"xlf/internal/service"
 )
 
@@ -117,10 +118,13 @@ func BenchmarkScenarioSimulation(b *testing.B) {
 	}
 }
 
-// BenchmarkCoreIngest measures the correlation engine's signal path with a
-// rotating stream of sub-threshold signals across devices and layers.
-func BenchmarkCoreIngest(b *testing.B) {
-	sys, err := xlf.New(xlf.Options{Seed: 1})
+// benchIngest drives the correlation engine's signal path with a rotating
+// stream of sub-threshold signals across devices and layers. tracer == nil
+// is the production default (nil-check fast path); a live tracer adds one
+// ring-buffer append per accepted signal.
+func benchIngest(b *testing.B, tracer *obs.Tracer) {
+	b.Helper()
+	sys, err := xlf.New(xlf.Options{Seed: 1, Tracer: tracer})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -137,4 +141,15 @@ func BenchmarkCoreIngest(b *testing.B) {
 			Score:    0.3,
 		})
 	}
+}
+
+// BenchmarkCoreIngest is the disabled-tracer baseline: observability off,
+// the hot path pays only a nil check. Compare against
+// BenchmarkCoreIngestTraced to bound the tracing overhead (DESIGN.md §8).
+func BenchmarkCoreIngest(b *testing.B) { benchIngest(b, nil) }
+
+// BenchmarkCoreIngestTraced is the same signal stream with a live span
+// recorder attached, measuring the enabled-tracer cost per signal.
+func BenchmarkCoreIngestTraced(b *testing.B) {
+	benchIngest(b, obs.NewTracer(obs.DefaultCapacity, nil))
 }

@@ -15,6 +15,9 @@
 //	xlf-bench -all -json out/           # write BENCH_<id>.json artifacts
 //	xlf-bench -all -clock step          # fixed fake clock: byte-identical
 //	                                    # output at any -parallel level
+//	xlf-bench -exp E1 -clock step \
+//	          -trace out.jsonl          # cross-layer span trace (xlf-trace/v1);
+//	                                    # render with cmd/xlf-trace
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"xlf/internal/exp"
+	"xlf/internal/obs"
 )
 
 func main() {
@@ -42,6 +46,7 @@ func run(args []string) int {
 		parallel = fs.Int("parallel", 1, "worker-pool size for experiments and inner sweeps")
 		jsonDir  = fs.String("json", "", "directory to write BENCH_<id>.json artifacts into")
 		clock    = fs.String("clock", exp.ClockWall, "timing source: wall (measured throughput) or step (deterministic output)")
+		traceOut = fs.String("trace", "", "file to write the xlf-trace/v1 span timeline into")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,10 +106,20 @@ func run(args []string) int {
 		return 2
 	}
 	env.Workers = *parallel
+	if *traceOut != "" {
+		env.EnableTracing(0)
+	}
 
 	sched := &exp.Scheduler{Parallel: *parallel}
 	results := sched.Run(env, selection)
 	fmt.Print(exp.Render(results))
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, env, *seed, *clock, selection); err != nil {
+			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
+			return 1
+		}
+	}
 
 	if *jsonDir != "" {
 		meta := exp.RunMeta{Seed: *seed, Parallel: *parallel, Clock: *clock}
@@ -116,4 +131,33 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "xlf-bench: wrote %d artifacts to %s\n", len(paths), *jsonDir)
 	}
 	return 0
+}
+
+// writeTrace serializes the run's span tree as an xlf-trace/v1 artifact.
+// With -clock step the file is byte-identical across runs and -parallel
+// levels; render it with cmd/xlf-trace.
+func writeTrace(path string, env *exp.Env, seed int64, clock string, selection []exp.Experiment) error {
+	ids := make([]string, len(selection))
+	for i, e := range selection {
+		ids[i] = e.ID
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := obs.TraceMeta{
+		Seed:    seed,
+		Clock:   clock,
+		Source:  "xlf-bench " + strings.Join(ids, ","),
+		Evicted: env.TraceEvicted(),
+	}
+	if werr := obs.WriteTrace(f, meta, env.TraceSpans()); werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xlf-bench: wrote trace to %s\n", path)
+	return nil
 }

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"xlf/internal/exp"
+	"xlf/internal/obs"
 )
 
 func TestRunFlagValidation(t *testing.T) {
@@ -93,5 +95,53 @@ func TestRunJSONFailure(t *testing.T) {
 	}
 	if got := run([]string{"-exp", "F2", "-json", file}); got != 1 {
 		t.Errorf("run with unwritable -json dir = %d, want 1", got)
+	}
+}
+
+// TestRunTraceByteIdentity drives -trace end to end: a step-clock E8 run
+// must serialize the identical trace file across repeated runs and across
+// -parallel levels, and the file must parse as xlf-trace/v1.
+func TestRunTraceByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		filepath.Join(dir, "a.jsonl"),
+		filepath.Join(dir, "b.jsonl"),
+		filepath.Join(dir, "c.jsonl"),
+	}
+	for i, p := range paths {
+		args := []string{"-exp", "E8", "-clock", "step", "-seed", "7", "-trace", p}
+		if i == 2 {
+			args = append(args, "-parallel", "4")
+		}
+		if got := run(args); got != 0 {
+			t.Fatalf("run(%v) = %d, want 0", args, got)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths[1:] {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs from %s: step-clock traces must be byte-identical", p, paths[0])
+		}
+	}
+	meta, spans, err := obs.ReadTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Seed != 7 || meta.Clock != exp.ClockStep || len(spans) == 0 {
+		t.Errorf("trace meta = %+v with %d spans", meta, len(spans))
+	}
+}
+
+// TestRunTraceFailure covers the trace-write error path (exit 1).
+func TestRunTraceFailure(t *testing.T) {
+	if got := run([]string{"-exp", "F2", "-trace", filepath.Join(t.TempDir(), "no", "such", "dir.jsonl")}); got != 1 {
+		t.Errorf("run with unwritable -trace path = %d, want 1", got)
 	}
 }

@@ -25,13 +25,15 @@ var XLFLayerTable = map[string][]string{
 	// Root facade: assembles every layer around the Core.
 	".": {
 		"internal/analytics", "internal/behavior", "internal/core",
-		"internal/dpi", "internal/ids", "internal/netsim",
+		"internal/dpi", "internal/ids", "internal/netsim", "internal/obs",
 		"internal/service", "internal/shaping", "internal/testbed",
 		"internal/xauth",
 	},
 
-	// Substrates: leaves of the DAG.
-	"internal/sim":     {},
+	// Substrates: leaves of the DAG. obs is the observability substrate:
+	// importable from every layer (it imports nothing, so no cycles).
+	"internal/obs":     {},
+	"internal/sim":     {"internal/obs"},
 	"internal/metrics": {},
 	"internal/proto":   {},
 	"internal/lwc":     {},
@@ -42,21 +44,21 @@ var XLFLayerTable = map[string][]string{
 	"internal/channel": {"internal/device", "internal/lwc"},
 
 	// Network layer.
-	"internal/netsim":  {"internal/sim"},
+	"internal/netsim":  {"internal/obs", "internal/sim"},
 	"internal/dnsp":    {"internal/lwc", "internal/netsim"},
 	"internal/ids":     {"internal/netsim"},
-	"internal/shaping": {"internal/netsim", "internal/sim"},
-	"internal/dpi":     {},
+	"internal/shaping": {"internal/netsim", "internal/obs", "internal/sim"},
+	"internal/dpi":     {"internal/obs"},
 	// behavior watches device DFAs over network traces: it may read both.
 	"internal/behavior": {"internal/device", "internal/netsim"},
 
 	// Service layer.
-	"internal/xauth":     {},
+	"internal/xauth":     {"internal/obs"},
 	"internal/service":   {"internal/lwc", "internal/xauth"},
 	"internal/analytics": {},
 
 	// The XLF Core: the only layer-coupling component besides the facade.
-	"internal/core": {"internal/netsim"},
+	"internal/core": {"internal/netsim", "internal/obs"},
 
 	// Harnesses above the layers.
 	"internal/attack": {
@@ -65,16 +67,17 @@ var XLFLayerTable = map[string][]string{
 	},
 	"internal/testbed": {
 		"internal/attack", "internal/channel", "internal/device",
-		"internal/lwc", "internal/netsim", "internal/service",
-		"internal/sim",
+		"internal/lwc", "internal/netsim", "internal/obs",
+		"internal/service", "internal/sim",
 	},
 	"internal/exp": {
 		".", "internal/analytics", "internal/attack", "internal/behavior",
 		"internal/channel", "internal/core", "internal/device",
 		"internal/dnsp", "internal/dpi", "internal/lwc",
 		"internal/metrics", "internal/ml", "internal/netsim",
-		"internal/proto", "internal/service", "internal/shaping",
-		"internal/sim", "internal/testbed", "internal/xauth",
+		"internal/obs", "internal/proto", "internal/service",
+		"internal/shaping", "internal/sim", "internal/testbed",
+		"internal/xauth",
 	},
 
 	// Tooling: the analyzers import nothing; the driver imports them.
@@ -83,8 +86,9 @@ var XLFLayerTable = map[string][]string{
 	// Binaries and examples: leaves at the top of the DAG.
 	"cmd/probe":      {"internal/exp"},
 	"cmd/xlf-attack": {".", "internal/attack", "internal/service"},
-	"cmd/xlf-bench":  {"internal/exp"},
+	"cmd/xlf-bench":  {"internal/exp", "internal/obs"},
 	"cmd/xlf-sim":    {".", "internal/analytics", "internal/attack", "internal/service"},
+	"cmd/xlf-trace":  {"internal/obs"},
 	"cmd/xlf-vet":    {"internal/analysis"},
 
 	// Repo tooling: the bench-artifact differ reads exp artifacts and
@@ -104,6 +108,7 @@ var XLFDeterministicPackages = []string{
 	"xlf/internal/attack",
 	"xlf/internal/exp",
 	"xlf/internal/netsim",
+	"xlf/internal/obs",
 	"xlf/internal/shaping",
 	"xlf/internal/sim",
 	"xlf/internal/testbed",

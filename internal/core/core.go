@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"xlf/internal/obs"
 )
 
 // LayerName identifies the producing layer of a signal.
@@ -143,8 +145,16 @@ type Core struct {
 	// OnAlert, when set, observes every raised alert.
 	OnAlert func(Alert)
 
-	ingested uint64
-	dropped  uint64
+	// Tracer, when set, receives core-layer spans for every ingest,
+	// alert and containment decision. Nil (the default) disables tracing
+	// at the cost of one branch per hot-path operation.
+	Tracer *obs.Tracer
+
+	reg        *obs.Registry
+	cIngested  *obs.Counter
+	cDropped   *obs.Counter
+	cAlerts    *obs.Counter
+	cContained *obs.Counter
 }
 
 // New creates a Core.
@@ -161,20 +171,58 @@ func New(cfg Config, contain Containment) *Core {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = DefaultConfig().Cooldown
 	}
+	reg := obs.NewRegistry()
 	return &Core{
-		cfg:       cfg,
-		contain:   contain,
-		signals:   make(map[string][]Signal),
-		lastA:     make(map[string]time.Duration),
-		contained: make(map[string]bool),
+		cfg:        cfg,
+		contain:    contain,
+		signals:    make(map[string][]Signal),
+		lastA:      make(map[string]time.Duration),
+		contained:  make(map[string]bool),
+		reg:        reg,
+		cIngested:  reg.Counter("core.ingested"),
+		cDropped:   reg.Counter("core.dropped"),
+		cAlerts:    reg.Counter("core.alerts"),
+		cContained: reg.Counter("core.contained"),
 	}
 }
 
 // Config returns the active configuration.
 func (c *Core) Config() Config { return c.cfg }
 
-// Stats returns (signalsIngested, signalsFilteredOut).
-func (c *Core) Stats() (uint64, uint64) { return c.ingested, c.dropped }
+// CoreStats is a snapshot of the Core's lifetime counters, read from the
+// obs metrics registry backing them.
+type CoreStats struct {
+	// Ingested counts signals accepted into the correlation window.
+	Ingested uint64
+	// Dropped counts signals filtered out by the layer ablation.
+	Dropped uint64
+	// Alerts counts alerts raised.
+	Alerts uint64
+	// Contained counts alerts that executed a containment action.
+	Contained uint64
+}
+
+// Stats returns the Core's lifetime counters.
+func (c *Core) Stats() CoreStats {
+	return CoreStats{
+		Ingested:  c.cIngested.Value(),
+		Dropped:   c.cDropped.Value(),
+		Alerts:    c.cAlerts.Value(),
+		Contained: c.cContained.Value(),
+	}
+}
+
+// LegacyStats returns (signalsIngested, signalsFilteredOut).
+//
+// Deprecated: use Stats, which also reports alert and containment counts.
+func (c *Core) LegacyStats() (uint64, uint64) {
+	s := c.Stats()
+	return s.Ingested, s.Dropped
+}
+
+// Metrics exposes the runtime metrics registry backing the Core's
+// counters, for snapshotting alongside trace exports.
+func (c *Core) Metrics() *obs.Registry { return c.reg }
 
 // layerEnabled applies the ablation filter.
 func (c *Core) layerEnabled(l LayerName) bool {
@@ -193,10 +241,22 @@ func (c *Core) layerEnabled(l LayerName) bool {
 // it raised, if any.
 func (c *Core) Ingest(sig Signal) *Alert {
 	if !c.layerEnabled(sig.Layer) {
-		c.dropped++
+		c.cDropped.Inc()
+		if c.Tracer != nil {
+			c.Tracer.EmitSpan(obs.Span{
+				Time: sig.Time, Layer: obs.LayerCore, Op: "filter",
+				Device: sig.DeviceID, Cause: sig.Kind, Detail: sig.Source,
+			})
+		}
 		return nil
 	}
-	c.ingested++
+	c.cIngested.Inc()
+	if c.Tracer != nil {
+		c.Tracer.EmitSpan(obs.Span{
+			Time: sig.Time, Layer: obs.LayerCore, Op: "ingest",
+			Device: sig.DeviceID, Cause: sig.Kind, Detail: sig.Source,
+		})
+	}
 	if sig.DeviceID == "" {
 		c.global = append(c.global, sig)
 		return nil
@@ -274,6 +334,23 @@ func (c *Core) evaluate(deviceID string, now time.Duration) *Alert {
 		// Whether or not an enforcement hook was installed, containment
 		// has been attempted: later repeats fall back under the cooldown.
 		c.contained[deviceID] = true
+		if a.Action != "" {
+			c.cContained.Inc()
+			if c.Tracer != nil {
+				c.Tracer.EmitSpan(obs.Span{
+					Time: now, Layer: obs.LayerCore, Op: "contain",
+					Device: deviceID, Cause: a.Action,
+				})
+			}
+		}
+	}
+	c.cAlerts.Inc()
+	if c.Tracer != nil {
+		c.Tracer.EmitSpan(obs.Span{
+			Time: now, Layer: obs.LayerCore, Op: "alert",
+			Device: deviceID, Cause: a.Severity.String(),
+			Detail: fmt.Sprintf("conf=%.2f layers=%d", conf, len(layers)),
+		})
 	}
 	c.alerts = append(c.alerts, a)
 	if c.OnAlert != nil {

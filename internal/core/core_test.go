@@ -145,12 +145,36 @@ func TestLayerAblation(t *testing.T) {
 	if a := c.Ingest(sig(time.Second, Device, "cam-1", "firmware-tamper", 0.99)); a != nil {
 		t.Error("disabled layer's signal alerted")
 	}
-	in, dropped := c.Stats()
-	if in != 0 || dropped != 1 {
-		t.Errorf("stats = %d/%d", in, dropped)
+	if st := c.Stats(); st.Ingested != 0 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 	if a := c.Ingest(sig(time.Second, Network, "cam-1", "scan", 0.99)); a == nil {
 		t.Error("enabled layer's signal ignored")
+	}
+}
+
+// TestStatsCounters pins the CoreStats fields (backed by the obs metrics
+// registry) and the deprecated LegacyStats wrapper.
+func TestStatsCounters(t *testing.T) {
+	c := New(DefaultConfig(), Containment{BlockDevice: func(string) {}})
+	c.Ingest(sig(time.Second, Network, "cam-1", "scan", 0.3))     // ingested, no alert
+	c.Ingest(sig(2*time.Second, Device, "cam-1", "tamper", 0.99)) // alert + containment
+	st := c.Stats()
+	want := CoreStats{Ingested: 2, Dropped: 0, Alerts: 1, Contained: 1}
+	if st != want {
+		t.Errorf("Stats() = %+v, want %+v", st, want)
+	}
+	in, dropped := c.LegacyStats()
+	if in != st.Ingested || dropped != st.Dropped {
+		t.Errorf("LegacyStats() = %d/%d, want %d/%d", in, dropped, st.Ingested, st.Dropped)
+	}
+	snap := c.Metrics().Snapshot()
+	byName := make(map[string]uint64)
+	for _, cs := range snap.Counters {
+		byName[cs.Name] = cs.Value
+	}
+	if byName["core.ingested"] != 2 || byName["core.alerts"] != 1 || byName["core.contained"] != 1 {
+		t.Errorf("registry snapshot = %+v", snap.Counters)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"xlf/internal/netsim"
+	"xlf/internal/obs"
 )
 
 // NACPolicy is XLF's constrained-access function (§IV-A3): each device may
@@ -25,6 +26,11 @@ type NACPolicy struct {
 	// OnDeny, when set, observes every denial — the Core turns repeated
 	// denials into constrained-access signals.
 	OnDeny func(pkt *netsim.Packet)
+
+	// Tracer, when set, receives a core-layer span per denial. Spans are
+	// emitted outside the policy mutex and timestamped by the tracer's
+	// bound simulation clock.
+	Tracer *obs.Tracer
 
 	denials uint64
 }
@@ -92,6 +98,7 @@ func (p *NACPolicy) GatewayHook() func(pkt *netsim.Packet) error {
 		if p.blocked[pkt.Src] {
 			p.denials++
 			p.mu.Unlock()
+			p.traceDeny(pkt, "quarantined")
 			return fmt.Errorf("core: %s is quarantined", pkt.Src)
 		}
 		if p.alwaysAllow[pkt.Dst] {
@@ -105,11 +112,22 @@ func (p *NACPolicy) GatewayHook() func(pkt *netsim.Packet) error {
 		p.denials++
 		cb := p.OnDeny
 		p.mu.Unlock()
+		p.traceDeny(pkt, "unenrolled")
 		if cb != nil {
 			cb(pkt)
 		}
 		return fmt.Errorf("core: NAC denies %s -> %s", pkt.Src, pkt.Dst)
 	}
+}
+
+// traceDeny emits a nac-deny span when tracing is on. Called without the
+// policy mutex held.
+func (p *NACPolicy) traceDeny(pkt *netsim.Packet, cause string) {
+	if p.Tracer == nil {
+		return
+	}
+	p.Tracer.Emit(obs.LayerCore, "nac-deny",
+		strings.TrimPrefix(string(pkt.Src), "lan:"), cause)
 }
 
 // Describe renders the policy for reports.

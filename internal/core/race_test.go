@@ -5,8 +5,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"xlf/internal/netsim"
+	"xlf/internal/obs"
 )
 
 // TestNACPolicyConcurrentEvaluation hammers one policy from many
@@ -99,5 +101,66 @@ func TestNACPolicyConcurrentEvaluation(t *testing.T) {
 	}
 	if p.Blocked(dev(0)) {
 		t.Error("device left quarantined after balanced Block/Unblock")
+	}
+}
+
+// TestNACPolicyConcurrentDenialsTraced is the tracer-enabled variant:
+// gateway hooks deny from many goroutines while each denial emits a span
+// and a reader drains the ring buffer. Under -race this is the smoke test
+// for the observability substrate on the NAC hot path; without -race it
+// still checks the span count matches the denials.
+func TestNACPolicyConcurrentDenialsTraced(t *testing.T) {
+	const (
+		workers = 8
+		packets = 200
+	)
+	p := NewNACPolicy()
+	var now atomic.Int64
+	tr := obs.NewTracer(1<<12, func() time.Duration {
+		return time.Duration(now.Add(int64(time.Millisecond)))
+	})
+	p.Tracer = tr
+	hook := p.GatewayHook()
+
+	var denied atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < packets; i++ {
+				pkt := &netsim.Packet{
+					Src: netsim.Addr(fmt.Sprintf("lan:dev%d", w)),
+					Dst: netsim.Addr("wan:unlisted"),
+				}
+				if err := hook(pkt); err != nil {
+					denied.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Reader: snapshotting the ring races with emission.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = tr.Spans()
+			_ = tr.Len()
+		}
+	}()
+	wg.Wait()
+
+	if got, want := denied.Load(), uint64(workers*packets); got != want {
+		t.Fatalf("denied %d packets, want %d (all unenrolled)", got, want)
+	}
+	spans := tr.Spans()
+	if uint64(len(spans))+tr.Evicted() != denied.Load() {
+		t.Errorf("tracer holds %d spans + %d evicted, want %d denial spans",
+			len(spans), tr.Evicted(), denied.Load())
+	}
+	for _, s := range spans {
+		if s.Layer != obs.LayerCore || s.Op != "nac-deny" || s.Cause != "unenrolled" {
+			t.Fatalf("unexpected span %+v", s)
+		}
 	}
 }

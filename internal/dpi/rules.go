@@ -3,6 +3,8 @@ package dpi
 import (
 	"errors"
 	"fmt"
+
+	"xlf/internal/obs"
 )
 
 // Severity ranks rule importance.
@@ -50,7 +52,12 @@ type RuleSet struct {
 	matcher *Matcher
 	// patOwner[i] = (rule index, keyword index) for compiled pattern i.
 	patOwner [][2]int
+	tracer   *obs.Tracer
 }
+
+// SetTracer attaches an observability tracer; every rule match then emits
+// a dpi-layer span timestamped by the tracer's bound simulation clock.
+func (rs *RuleSet) SetTracer(t *obs.Tracer) { rs.tracer = t }
 
 // NewRuleSet compiles rules. Rules must have at least one keyword, and
 // keywords at least 4 bytes (the searchable-encryption window).
@@ -123,6 +130,9 @@ func (rs *RuleSet) MatchPlain(payload []byte) []Detection {
 		}
 		if all {
 			out = append(out, Detection{Rule: r, Offsets: offsets})
+			if rs.tracer != nil {
+				rs.tracer.Emit(obs.LayerDPI, "match", "", r.ID)
+			}
 		}
 	}
 	return out

@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
+
+	"xlf/internal/obs"
 )
 
 // envFor returns an environment whose clock family is fake, so timed
@@ -69,6 +72,65 @@ func TestSchedulerDeterminismMatrix(t *testing.T) {
 					t.Errorf("parallel %d report differs from sequential at seed %d", parallel, seed)
 				}
 			})
+		}
+	}
+}
+
+// traceE1 runs E1 under a step clock with tracing on at the given
+// parallelism and returns the serialized xlf-trace/v1 artifact.
+func traceE1(t *testing.T, seed int64, parallel int) []byte {
+	t.Helper()
+	ex, ok := Lookup("E1")
+	if !ok {
+		t.Fatal("registry lost E1")
+	}
+	env := envFor(seed)
+	env.Workers = parallel
+	env.EnableTracing(0)
+	(&Scheduler{Parallel: parallel}).Run(env, []Experiment{ex})
+	var buf bytes.Buffer
+	meta := obs.TraceMeta{Seed: seed, Clock: ClockStep, Source: "E1", Evicted: env.TraceEvicted()}
+	if err := obs.WriteTrace(&buf, meta, env.TraceSpans()); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterminismMatrix is the observability analogue of the
+// scheduler matrix: with a step clock, the serialized trace of an E1 run
+// must be byte-identical across runs and across -parallel levels, because
+// the env forks its trace tree sequentially in dispatch order and
+// WriteTrace renumbers span sequence numbers into file order.
+func TestTraceDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace determinism matrix in -short mode")
+	}
+	baseline := traceE1(t, 7, 1)
+	if again := traceE1(t, 7, 1); !bytes.Equal(baseline, again) {
+		t.Fatal("sequential E1 trace differs between two runs with the same seed")
+	}
+	for _, parallel := range []int{4, 16} {
+		if got := traceE1(t, 7, parallel); !bytes.Equal(baseline, got) {
+			t.Errorf("parallel %d E1 trace differs from sequential", parallel)
+		}
+	}
+
+	// The timeline must span the stack: device, netsim, sim, dpi, core and
+	// xauth all emit spans during the composite campaign.
+	meta, spans, err := obs.ReadTrace(bytes.NewReader(baseline))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if meta.Seed != 7 || meta.Clock != ClockStep {
+		t.Errorf("trace meta = %+v, want seed 7 clock step", meta)
+	}
+	layers := map[string]bool{}
+	for _, s := range spans {
+		layers[s.Layer] = true
+	}
+	for _, want := range []string{obs.LayerDevice, obs.LayerNetsim, obs.LayerSim, obs.LayerDPI, obs.LayerCore, obs.LayerXAuth} {
+		if !layers[want] {
+			t.Errorf("E1 trace covers no %q spans (got layers %v)", want, layers)
 		}
 	}
 }

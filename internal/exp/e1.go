@@ -49,7 +49,7 @@ func runE1(env *Env) *Result {
 		alerts, contained int
 	}
 	points := Sweep(env, len(configs), func(i int, env *Env) e1Point {
-		conf, alerts, contained := runE1Config(env.Seed, configs[i].layers, configs[i].bonus, 0)
+		conf, alerts, contained := runE1Config(env, configs[i].layers, configs[i].bonus, 0)
 		return e1Point{conf, alerts, contained}
 	})
 
@@ -71,7 +71,7 @@ func runE1(env *Env) *Result {
 	// periodic); too narrow a window forfeits corroboration.
 	windows := []time.Duration{5 * time.Second, 30 * time.Second, 2 * time.Minute, 10 * time.Minute}
 	wpoints := Sweep(env, len(windows), func(i int, env *Env) metrics.Confusion {
-		conf, _, _ := runE1Config(env.Seed, nil, 0.25, windows[i])
+		conf, _, _ := runE1Config(env, nil, 0.25, windows[i])
 		return conf
 	})
 	wt := metrics.NewTable("", "Window", "Precision", "Recall", "F1")
@@ -91,8 +91,10 @@ func runE1(env *Env) *Result {
 }
 
 // runE1Config executes the composite campaign under one Core configuration
-// and scores per-device detection. window = 0 keeps the default.
-func runE1Config(seed int64, layers []core.LayerName, bonus float64, window time.Duration) (metrics.Confusion, int, int) {
+// and scores per-device detection. window = 0 keeps the default. The sweep
+// point's env supplies the seed and (when tracing is enabled) the span
+// recorder for this system's cross-layer timeline.
+func runE1Config(env *Env, layers []core.LayerName, bonus float64, window time.Duration) (metrics.Confusion, int, int) {
 	coreCfg := core.DefaultConfig()
 	coreCfg.EnabledLayers = layers
 	coreCfg.LayerBonus = bonus
@@ -101,9 +103,10 @@ func runE1Config(seed int64, layers []core.LayerName, bonus float64, window time
 	}
 
 	sys, err := xlf.New(xlf.Options{
-		Seed:       seed,
+		Seed:       env.Seed,
 		Flaws:      vulnerableFlaws(),
 		CoreConfig: coreCfg,
+		Tracer:     env.Tracer(),
 	})
 	if err != nil {
 		panic(err) // deterministic construction; cannot fail at runtime

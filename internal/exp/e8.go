@@ -30,7 +30,7 @@ func runE8(env *Env) *Result {
 
 	homes := []bool{false, true}
 	rows := Sweep(env, len(homes), func(i int, env *Env) e8Row {
-		return e8Home(env.Seed, homes[i])
+		return e8Home(env, homes[i])
 	})
 	for i, protected := range homes {
 		row := rows[i]
@@ -62,20 +62,21 @@ type e8Row struct {
 	floodPkts   int
 }
 
-func e8Home(seed int64, protected bool) e8Row {
+func e8Home(env *Env, protected bool) e8Row {
 	sys, err := xlf.New(xlf.Options{
-		Seed:              seed,
+		Seed:              env.Seed,
 		Flaws:             vulnerableFlaws(),
 		DisableProtection: !protected,
+		Tracer:            env.Tracer(),
 	})
 	if err != nil {
 		panic(err)
 	}
-	env := sys.Home.AttackEnv()
+	aenv := sys.Home.AttackEnv()
 	m := &attack.MiraiRecruit{CNC: "wan:cnc", BeaconEvery: 10 * time.Second}
-	sys.Home.Kernel.Schedule(10*time.Second, "recruit", func() { m.Execute(env) })
+	sys.Home.Kernel.Schedule(10*time.Second, "recruit", func() { m.Execute(aenv) })
 	sys.Home.Kernel.Schedule(90*time.Second, "ddos", func() {
-		(&attack.DDoSFlood{Victim: "wan:victim", Rate: 100, Duration: 30 * time.Second}).Execute(env)
+		(&attack.DDoSFlood{Victim: "wan:victim", Rate: 100, Duration: 30 * time.Second}).Execute(aenv)
 	})
 	if err := sys.Home.Run(4 * time.Minute); err != nil {
 		panic(err)

@@ -42,7 +42,7 @@ func runE9(env *Env) *Result {
 		go func() { energyCh <- runE9Energy(seed, days) }()
 	}
 
-	sys, err := xlf.New(xlf.Options{Seed: seed, Flaws: vulnerableFlaws()})
+	sys, err := xlf.New(xlf.Options{Seed: seed, Flaws: vulnerableFlaws(), Tracer: env.Tracer()})
 	if err != nil {
 		panic(err)
 	}

@@ -2,7 +2,10 @@ package exp
 
 import (
 	"math/rand"
+	"sync"
 	"time"
+
+	"xlf/internal/obs"
 )
 
 // Clock supplies monotonic elapsed-time readings for the few experiment
@@ -52,6 +55,95 @@ type Env struct {
 	// Workers bounds the fan-out of inner parameter sweeps (see Sweep).
 	// Zero or one means sequential.
 	Workers int
+
+	// trace, when non-nil, is this env's node in the trace tree: each env
+	// records into its own obs.Tracer, and forks hang child nodes off the
+	// parent in fork order. Because the scheduler and Sweep fork
+	// sequentially in dispatch order, the tree shape — and therefore the
+	// TraceSpans concatenation — is identical at any parallelism.
+	trace *traceNode
+}
+
+// traceNode is one env's tracer plus its forked children, in fork order.
+type traceNode struct {
+	mu       sync.Mutex
+	capacity int
+	tracer   *obs.Tracer
+	children []*traceNode
+}
+
+// fork creates a child node with its own tracer. Safe for concurrent use,
+// but callers that need a deterministic child order must fork from a
+// single goroutine (the scheduler's dispatch loop does).
+func (n *traceNode) fork() *traceNode {
+	child := &traceNode{capacity: n.capacity, tracer: obs.NewTracer(n.capacity, nil)}
+	n.mu.Lock()
+	n.children = append(n.children, child)
+	n.mu.Unlock()
+	return child
+}
+
+// collect appends this node's spans and then its children's, depth-first.
+func (n *traceNode) collect(spans []obs.Span) []obs.Span {
+	spans = append(spans, n.tracer.Spans()...)
+	n.mu.Lock()
+	children := append([]*traceNode(nil), n.children...)
+	n.mu.Unlock()
+	for _, c := range children {
+		spans = c.collect(spans)
+	}
+	return spans
+}
+
+// evicted sums ring-buffer evictions over the subtree.
+func (n *traceNode) evicted() uint64 {
+	total := n.tracer.Evicted()
+	n.mu.Lock()
+	children := append([]*traceNode(nil), n.children...)
+	n.mu.Unlock()
+	for _, c := range children {
+		total += c.evicted()
+	}
+	return total
+}
+
+// EnableTracing attaches a trace tree to the env: this env and every env
+// forked from it record spans into per-fork ring buffers of the given
+// capacity (obs.DefaultCapacity when capacity <= 0). Call before Fork.
+func (e *Env) EnableTracing(capacity int) {
+	if capacity <= 0 {
+		capacity = obs.DefaultCapacity
+	}
+	e.trace = &traceNode{capacity: capacity, tracer: obs.NewTracer(capacity, nil)}
+}
+
+// Tracer returns this env's span recorder, or nil when tracing is off —
+// callers pass it straight into xlf.Options.Tracer either way.
+func (e *Env) Tracer() *obs.Tracer {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.tracer
+}
+
+// TraceSpans returns every span recorded in this env's subtree: the env's
+// own spans first, then each forked child's, depth-first in fork order.
+// With a step clock the result is byte-stable across runs and -parallel
+// levels once obs.WriteTrace renumbers the sequence numbers.
+func (e *Env) TraceSpans() []obs.Span {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.collect(nil)
+}
+
+// TraceEvicted reports how many spans the subtree's ring buffers
+// displaced; nonzero means TraceSpans is incomplete.
+func (e *Env) TraceEvicted() uint64 {
+	if e.trace == nil {
+		return 0
+	}
+	return e.trace.evicted()
 }
 
 // NewEnv returns the standard environment: seeded randomness and
@@ -78,6 +170,9 @@ func (e *Env) Fork() *Env {
 	out := &Env{Seed: e.Seed, Clock: e.Clock, ClockFactory: e.ClockFactory, Workers: e.Workers}
 	if e.ClockFactory != nil {
 		out.Clock = e.ClockFactory()
+	}
+	if e.trace != nil {
+		out.trace = e.trace.fork()
 	}
 	return out
 }

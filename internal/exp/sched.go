@@ -51,9 +51,16 @@ func (s *Scheduler) Run(env *Env, exps []Experiment) []*Result {
 	n := len(exps)
 	results := make([]*Result, n)
 	w := s.workers(env, n)
+	// Fork every child env up front, sequentially, in input order: fork
+	// order decides the trace tree's child order, so it must not depend on
+	// which worker goroutine grabs which job.
+	envs := make([]*Env, n)
+	for i := range envs {
+		envs[i] = env.Fork()
+	}
 	if w == 1 {
 		for i, ex := range exps {
-			results[i] = runMeasured(ex, env.Fork(), true)
+			results[i] = runMeasured(ex, envs[i], true)
 		}
 		return results
 	}
@@ -64,7 +71,7 @@ func (s *Scheduler) Run(env *Env, exps []Experiment) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runMeasured(exps[i], env.Fork(), false)
+				results[i] = runMeasured(exps[i], envs[i], false)
 			}
 		}()
 	}
@@ -112,9 +119,16 @@ func Sweep[T any](env *Env, n int, point func(i int, env *Env) T) []T {
 	if w > n {
 		w = n
 	}
+	// Pre-fork in index order for the same reason Scheduler.Run does: the
+	// trace tree's child order must match the sweep grid, not goroutine
+	// scheduling.
+	envs := make([]*Env, n)
+	for i := range envs {
+		envs[i] = env.Fork()
+	}
 	if w == 1 {
 		for i := range out {
-			out[i] = point(i, env.Fork())
+			out[i] = point(i, envs[i])
 		}
 		return out
 	}
@@ -125,7 +139,7 @@ func Sweep[T any](env *Env, n int, point func(i int, env *Env) T) []T {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = point(i, env.Fork())
+				out[i] = point(i, envs[i])
 			}
 		}()
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"xlf/internal/obs"
 	"xlf/internal/sim"
 )
 
@@ -125,6 +126,7 @@ type Network struct {
 	lanTaps []Tap
 	wanTaps []Tap
 	nextID  uint64
+	tracer  *obs.Tracer
 
 	// stats
 	delivered uint64
@@ -202,6 +204,22 @@ func (n *Network) Stats() (uint64, uint64, uint64) {
 	return n.delivered, n.dropped, n.bytes
 }
 
+// SetTracer attaches an observability tracer; sends, deliveries and drops
+// then emit netsim-layer spans. Nil disables emission.
+func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// lanDevice extracts a device ID for span attribution: the LAN-side
+// endpoint of the packet, if any, with the "lan:" prefix stripped.
+func lanDevice(pkt *Packet) string {
+	if pkt.Src.IsLAN() {
+		return string(pkt.Src[4:])
+	}
+	if pkt.Dst.IsLAN() {
+		return string(pkt.Dst[4:])
+	}
+	return ""
+}
+
 // Send queues a packet for delivery. Latency, serialisation delay, jitter
 // and loss come from the sender's and receiver's links. Packets to unknown
 // addresses are counted as drops.
@@ -222,10 +240,12 @@ func (n *Network) Send(pkt *Packet) {
 	rng := n.kernel.Rand()
 	if sl.Loss > 0 && rng.Float64() < sl.Loss {
 		n.dropped++
+		n.traceDrop(pkt, "loss:sender")
 		return
 	}
 	if rl.Loss > 0 && rng.Float64() < rl.Loss {
 		n.dropped++
+		n.traceDrop(pkt, "loss:receiver")
 		return
 	}
 
@@ -240,8 +260,25 @@ func (n *Network) Send(pkt *Packet) {
 		delay += time.Duration(float64(pkt.Size) / rl.Bandwidth * float64(time.Second))
 	}
 
+	if n.tracer != nil {
+		n.tracer.EmitSpan(obs.Span{
+			Time: pkt.SentAt, Layer: obs.LayerNetsim, Op: "send",
+			Device: lanDevice(pkt), Cause: pkt.Proto, Detail: string(pkt.Dst),
+		})
+	}
 	n.kernel.Schedule(delay, "deliver:"+string(pkt.Dst), func() {
 		n.deliver(pkt)
+	})
+}
+
+// traceDrop emits a drop span when tracing is on.
+func (n *Network) traceDrop(pkt *Packet, cause string) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.EmitSpan(obs.Span{
+		Time: n.kernel.Now(), Layer: obs.LayerNetsim, Op: "drop",
+		Device: lanDevice(pkt), Cause: cause, Detail: pkt.Proto,
 	})
 }
 
@@ -267,7 +304,15 @@ func (n *Network) deliver(pkt *Packet) {
 	node, ok := n.nodes[pkt.Dst]
 	if !ok {
 		n.dropped++
+		n.traceDrop(pkt, "no-node")
 		return
+	}
+	if n.tracer != nil {
+		n.tracer.EmitSpan(obs.Span{
+			Time: pkt.DeliveredAt, Dur: pkt.DeliveredAt - pkt.SentAt,
+			Layer: obs.LayerNetsim, Op: "deliver",
+			Device: lanDevice(pkt), Cause: pkt.Proto, Detail: string(pkt.Dst),
+		})
 	}
 	node.Handle(n, pkt)
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Seq: 7, Time: 1000, Layer: LayerDevice, Op: "keepalive", Device: "cam-1", Cause: "sealed"},
+		{Seq: 9, Time: 2000, Dur: 500, Layer: LayerNetsim, Op: "deliver", Device: "cam-1"},
+		{Seq: 12, Time: 3000, Layer: LayerCore, Op: "alert", Device: "cam-1", Cause: "dpi:mirai-loader", Detail: "conf=0.90"},
+	}
+}
+
+// TestTraceGolden pins the exact xlf-trace/v1 wire format. If this test
+// breaks, the schema changed: bump TraceSchema.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	meta := TraceMeta{Seed: 7, Clock: "step", Source: "test", Evicted: 2}
+	if err := WriteTrace(&buf, meta, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"schema":"xlf-trace/v1","seed":7,"clock":"step","source":"test","spans":3,"evicted":2}`,
+		`{"seq":1,"t_ns":1000,"layer":"device","op":"keepalive","device":"cam-1","cause":"sealed"}`,
+		`{"seq":2,"t_ns":2000,"dur_ns":500,"layer":"netsim","op":"deliver","device":"cam-1"}`,
+		`{"seq":3,"t_ns":3000,"layer":"core","op":"alert","device":"cam-1","cause":"dpi:mirai-loader","detail":"conf=0.90"}`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, TraceMeta{Seed: 3, Clock: "step"}, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	meta, spans, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Schema != TraceSchema || meta.Seed != 3 || meta.Spans != 3 {
+		t.Errorf("meta = %+v", meta)
+	}
+	for i, s := range spans {
+		// WriteTrace renumbers into file order.
+		if s.Seq != uint64(i+1) {
+			t.Errorf("span %d seq = %d", i, s.Seq)
+		}
+	}
+	if spans[1].Dur != 500 || spans[2].Detail != "conf=0.90" {
+		t.Errorf("round trip lost fields: %+v", spans)
+	}
+}
+
+func TestTraceSchemaRejection(t *testing.T) {
+	cases := map[string]string{
+		"unknown version": `{"schema":"xlf-trace/v999","seed":1,"clock":"step","spans":0}`,
+		"bench schema":    `{"schema":"xlf-bench/v1","seed":1,"clock":"step","spans":0}`,
+		"missing clock":   `{"schema":"xlf-trace/v1","seed":1,"spans":0}`,
+		"negative spans":  `{"schema":"xlf-trace/v1","seed":1,"clock":"step","spans":-1}`,
+		"not json":        `schema? what schema`,
+	}
+	for name, header := range cases {
+		if _, _, err := ReadTrace(strings.NewReader(header + "\n")); err == nil {
+			t.Errorf("%s: ReadTrace accepted %q", name, header)
+		}
+	}
+	if _, _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("ReadTrace accepted an empty file")
+	}
+}
+
+// TestTraceTruncation: a file whose span count disagrees with the header
+// is rejected — short means truncated, long means corrupted.
+func TestTraceTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, TraceMeta{Seed: 1, Clock: "step"}, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	short := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if _, _, err := ReadTrace(strings.NewReader(short)); err == nil {
+		t.Error("ReadTrace accepted a truncated trace")
+	}
+	long := buf.String() + lines[1] + "\n"
+	if _, _, err := ReadTrace(strings.NewReader(long)); err == nil {
+		t.Error("ReadTrace accepted a trace with extra spans")
+	}
+}
+
+// TestWriteTraceFromRing: exporting a tracer that evicted keeps file
+// order and reports the eviction count, mirroring the artifact tests'
+// eviction coverage.
+func TestWriteTraceFromRing(t *testing.T) {
+	tr := NewTracer(4, nil)
+	for i := 0; i < 10; i++ {
+		tr.EmitAt(time.Duration(i), LayerSim, "event", "", "")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, TraceMeta{Seed: 1, Clock: "step", Evicted: tr.Evicted()}, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	meta, spans, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Evicted != 6 || meta.Spans != 4 {
+		t.Errorf("meta = %+v, want 6 evicted / 4 spans", meta)
+	}
+	for i, s := range spans {
+		if s.Time != time.Duration(6+i) {
+			t.Errorf("span %d time = %d, want %d (oldest survivors first)", i, s.Time, 6+i)
+		}
+	}
+}

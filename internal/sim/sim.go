@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"xlf/internal/obs"
 )
 
 // Event is a scheduled callback. Events run in timestamp order; ties are
@@ -84,6 +86,7 @@ type Kernel struct {
 	rng     *rand.Rand
 	stopped bool
 	ran     uint64
+	tracer  *obs.Tracer
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -107,6 +110,11 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 // Processed returns how many events have executed since the kernel was
 // created.
 func (k *Kernel) Processed() uint64 { return k.ran }
+
+// SetTracer attaches an observability tracer; every dispatched event then
+// emits a sim-layer span. A nil tracer (the default) disables emission at
+// the cost of one branch per event.
+func (k *Kernel) SetTracer(t *obs.Tracer) { k.tracer = t }
 
 // Schedule queues fn to run after delay (relative to Now). A negative delay
 // is treated as zero. The returned Event may be used to cancel the call.
@@ -145,6 +153,9 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.At
 		k.ran++
+		if k.tracer != nil {
+			k.tracer.EmitAt(e.At, obs.LayerSim, "event", "", e.Name)
+		}
 		e.Fn()
 		return true
 	}

@@ -14,6 +14,7 @@ import (
 	"xlf/internal/device"
 	"xlf/internal/lwc"
 	"xlf/internal/netsim"
+	"xlf/internal/obs"
 	"xlf/internal/service"
 	"xlf/internal/sim"
 )
@@ -34,6 +35,10 @@ type Config struct {
 	// (the §IV-A2 function): keepalive and event payloads are sealed with
 	// the device's negotiated Table III cipher and battery-metered.
 	LightweightEncryption bool
+	// Tracer, when set, is bound to the simulation clock and installed on
+	// the kernel, the network, and the device-layer traffic sources, so a
+	// packet's journey is reconstructable per layer. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Home is the assembled testbed.
@@ -60,6 +65,8 @@ type Home struct {
 	Sessions map[string]*channel.Session
 	// GatewaySessions are the core-side peers of Sessions.
 	GatewaySessions map[string]*channel.Session
+
+	tracer *obs.Tracer
 }
 
 // New builds the standard home with the full device catalog.
@@ -73,6 +80,11 @@ func New(cfg Config) (*Home, error) {
 
 	k := sim.NewKernel(cfg.Seed)
 	n := netsim.New(k)
+	if cfg.Tracer != nil {
+		cfg.Tracer.SetClock(k.Now)
+		k.SetTracer(cfg.Tracer)
+		n.SetTracer(cfg.Tracer)
+	}
 	h := &Home{
 		Kernel:          k,
 		Net:             n,
@@ -83,6 +95,7 @@ func New(cfg Config) (*Home, error) {
 		CloudAddrOf:     make(map[string]netsim.Addr),
 		Sessions:        make(map[string]*channel.Session),
 		GatewaySessions: make(map[string]*channel.Session),
+		tracer:          cfg.Tracer,
 	}
 	h.Cloud = service.NewCloud(cfg.Flaws, k.Now)
 
@@ -244,16 +257,25 @@ func (h *Home) addDevice(d *device.Device, cfg Config) error {
 				Proto: "TLS", Encrypted: true, Size: 180 + len(d.ID)*3,
 				App: "keepalive",
 			}
+			cause := "cleartext"
 			if sess, ok := h.Sessions[d.ID]; ok {
 				// Payload bytes originate in the device layer and must be
 				// sealed before crossing the network layer (the xlf-vet
 				// plaintextescape invariant).
 				sealed, err := sess.Seal(d.KeepalivePayload())
 				if err != nil {
-					return // battery exhausted: the device goes dark
+					// Battery exhausted: the device goes dark.
+					if h.tracer != nil {
+						h.tracer.EmitAt(h.Kernel.Now(), obs.LayerDevice, "keepalive", d.ID, "battery-exhausted")
+					}
+					return
 				}
 				pkt.Payload = sealed
 				pkt.Proto = "XLF-LWC"
+				cause = "sealed"
+			}
+			if h.tracer != nil {
+				h.tracer.EmitAt(h.Kernel.Now(), obs.LayerDevice, "keepalive", d.ID, cause)
 			}
 			h.Gateway.SendOut(h.Net, pkt)
 		})
@@ -270,6 +292,9 @@ func (h *Home) UserEvent(deviceID, event string) error {
 	}
 	if err := d.Apply(event); err != nil {
 		return err
+	}
+	if h.tracer != nil {
+		h.tracer.EmitAt(h.Kernel.Now(), obs.LayerDevice, "user-event", deviceID, event)
 	}
 	// Event traffic to the vendor cloud (burst larger than keepalive).
 	if len(d.CloudDomains) > 0 {

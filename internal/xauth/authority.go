@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"xlf/internal/obs"
 )
 
 // User is an account at the cloud authority.
@@ -29,6 +31,11 @@ type Authority struct {
 	// determines the lifetime of the authentication tokens based on the
 	// correlation results").
 	LifetimePolicy func(user User, deviceID string) time.Duration
+
+	// Tracer, when set, receives an xauth-layer span per token issuance,
+	// verification and refusal. Spans never carry token material — only
+	// user/device names and error labels.
+	Tracer *obs.Tracer
 
 	issued  uint64
 	refused uint64
@@ -99,22 +106,18 @@ func (a *Authority) MFACodeFor(user string, now time.Duration) (string, error) {
 func (a *Authority) Authenticate(user, password, mfa, deviceID string, now time.Duration) (Token, error) {
 	u, ok := a.users[user]
 	if !ok {
-		a.refused++
-		return Token{}, ErrUnknownUser
+		return Token{}, a.refuse(now, deviceID, user, ErrUnknownUser)
 	}
 	if u.Password != password {
-		a.refused++
-		return Token{}, ErrBadPassword
+		return Token{}, a.refuse(now, deviceID, user, ErrBadPassword)
 	}
 	mfaOK := false
 	if u.MFASecret != "" {
 		if mfa == "" {
-			a.refused++
-			return Token{}, ErrNeedMFA
+			return Token{}, a.refuse(now, deviceID, user, ErrNeedMFA)
 		}
 		if mfa != mfaCode(u.MFASecret, now) {
-			a.refused++
-			return Token{}, ErrBadMFA
+			return Token{}, a.refuse(now, deviceID, user, ErrBadMFA)
 		}
 		mfaOK = true
 	}
@@ -123,7 +126,25 @@ func (a *Authority) Authenticate(user, password, mfa, deviceID string, now time.
 		lifetime = a.LifetimePolicy(u, deviceID)
 	}
 	a.issued++
+	if a.Tracer != nil {
+		a.Tracer.EmitSpan(obs.Span{
+			Time: now, Dur: lifetime, Layer: obs.LayerXAuth,
+			Op: "token-issue", Device: deviceID, Detail: user,
+		})
+	}
 	return a.signer.Issue(user, deviceID, u.Priv, mfaOK, now, lifetime), nil
+}
+
+// refuse counts and traces one authentication refusal.
+func (a *Authority) refuse(now time.Duration, deviceID, user string, err error) error {
+	a.refused++
+	if a.Tracer != nil {
+		a.Tracer.EmitSpan(obs.Span{
+			Time: now, Layer: obs.LayerXAuth, Op: "auth-refuse",
+			Device: deviceID, Cause: err.Error(), Detail: user,
+		})
+	}
+	return err
 }
 
 // Authorize validates a token for an operation requiring minPriv.
@@ -131,16 +152,19 @@ func (a *Authority) Authenticate(user, password, mfa, deviceID string, now time.
 // basic and advanced users.
 func (a *Authority) Authorize(t Token, minPriv Privilege, deviceID string, now time.Duration) error {
 	if err := a.signer.Verify(t, now, deviceID); err != nil {
-		a.refused++
-		return err
+		return a.refuse(now, deviceID, t.Subject, err)
 	}
 	if t.Priv < minPriv {
-		a.refused++
-		return ErrPrivTooLow
+		return a.refuse(now, deviceID, t.Subject, ErrPrivTooLow)
 	}
 	if minPriv >= Advanced && !t.MFA {
-		a.refused++
-		return ErrNeedMFA
+		return a.refuse(now, deviceID, t.Subject, ErrNeedMFA)
+	}
+	if a.Tracer != nil {
+		a.Tracer.EmitSpan(obs.Span{
+			Time: now, Layer: obs.LayerXAuth, Op: "token-verify",
+			Device: deviceID, Detail: t.Subject,
+		})
 	}
 	return nil
 }

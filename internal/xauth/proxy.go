@@ -3,6 +3,8 @@ package xauth
 import (
 	"fmt"
 	"time"
+
+	"xlf/internal/obs"
 )
 
 // Origin classifies where an access request entered the home: the paper
@@ -75,6 +77,10 @@ type Proxy struct {
 	cfg       ProxyConfig
 	cache     map[string]Token // user -> cached token
 
+	// Tracer, when set, receives an xauth-layer span per access decision
+	// and cache eviction.
+	Tracer *obs.Tracer
+
 	hits, fills, denials uint64
 }
 
@@ -91,8 +97,19 @@ func (p *Proxy) Stats() (uint64, uint64, uint64) { return p.hits, p.fills, p.den
 // correlation-driven refresh.
 func (p *Proxy) Prime(t Token) { p.cache[t.Subject] = t }
 
-// Evict drops a user's cached token (Core-initiated revocation).
-func (p *Proxy) Evict(user string) { delete(p.cache, user) }
+// Evict drops a user's cached token (Core-initiated revocation). The
+// span is timestamped by the tracer's bound simulation clock, since
+// revocations arrive from the Core without a request time.
+func (p *Proxy) Evict(user string) {
+	if p.Tracer != nil {
+		cause := "no-session"
+		if _, ok := p.cache[user]; ok {
+			cause = "revoked"
+		}
+		p.Tracer.Emit(obs.LayerXAuth, "token-evict", "", cause)
+	}
+	delete(p.cache, user)
+}
 
 // Handle processes an access request per the XLF policy:
 //
@@ -102,6 +119,21 @@ func (p *Proxy) Evict(user string) { delete(p.cache, user) }
 //   - Write operations require Advanced privilege with MFA regardless of
 //     origin.
 func (p *Proxy) Handle(req AccessRequest, now time.Duration) Decision {
+	d := p.handle(req, now)
+	if p.Tracer != nil {
+		op, cause := "access", d.AuthenticatedBy
+		if !d.Allowed {
+			op, cause = "access-deny", d.Reason
+		}
+		p.Tracer.EmitSpan(obs.Span{
+			Time: now, Dur: d.Latency, Layer: obs.LayerXAuth,
+			Op: op, Device: req.DeviceID, Cause: cause, Detail: req.User,
+		})
+	}
+	return d
+}
+
+func (p *Proxy) handle(req AccessRequest, now time.Duration) Decision {
 	minPriv := Basic
 	if req.Write {
 		minPriv = Advanced

@@ -52,4 +52,23 @@ echo '>> bench-compare (non-blocking)'
 go run ./scripts/bench-compare -base "$benchdir/sequential" -new "$benchdir/parallel" ||
 	echo 'bench-compare: drift noted (non-blocking)'
 
+# Trace determinism: with the step clock and the tracer enabled, the
+# serialized span timeline must be byte-identical across runs and across
+# -parallel levels (the worker pool again under the race detector), and
+# xlf-trace must render it.
+echo '>> xlf-trace determinism (tracer on, parallel 4 vs sequential, race detector)'
+go run -race ./cmd/xlf-bench -exp E1 -clock step -seed 1 -parallel 1 \
+	-trace "$benchdir/trace-sequential.jsonl" >/dev/null
+go run -race ./cmd/xlf-bench -exp E1 -clock step -seed 1 -parallel 4 \
+	-trace "$benchdir/trace-parallel.jsonl" >/dev/null
+cmp "$benchdir/trace-sequential.jsonl" "$benchdir/trace-parallel.jsonl"
+go run ./cmd/xlf-trace "$benchdir/trace-sequential.jsonl" >"$benchdir/trace-timeline.txt"
+
+# Non-blocking: disabled-tracer overhead on the Core hot path. The two
+# ingest benchmarks must stay within noise of each other; the numbers are
+# printed for the log, never gating (micro-benchmarks flap on shared CI).
+echo '>> tracer overhead benchmark (non-blocking)'
+go test -run='^$' -bench='^BenchmarkCoreIngest(Traced)?$' -benchtime=1s . ||
+	echo 'tracer overhead bench: failed (non-blocking)'
+
 echo 'all checks passed'

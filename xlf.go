@@ -27,6 +27,7 @@ import (
 	"xlf/internal/dpi"
 	"xlf/internal/ids"
 	"xlf/internal/netsim"
+	"xlf/internal/obs"
 	"xlf/internal/service"
 	"xlf/internal/shaping"
 	"xlf/internal/testbed"
@@ -63,6 +64,11 @@ type Options struct {
 	// per-device sessions over negotiated Table III ciphers, with sealed
 	// payloads and battery metering.
 	LightweightEncryption bool
+	// Tracer, when set, records cross-layer spans from every instrumented
+	// component (kernel, network, devices, DPI, shaping, xauth, Core) into
+	// one timeline on the simulation clock. Nil (the default) disables
+	// tracing; the hot paths then pay only a nil check.
+	Tracer *obs.Tracer
 }
 
 // System is a running XLF deployment over a simulated home.
@@ -121,6 +127,7 @@ func New(opts Options) (*System, error) {
 		Flaws:                 opts.Flaws,
 		ResolverMode:          opts.ResolverMode,
 		LightweightEncryption: opts.LightweightEncryption && !opts.DisableProtection,
+		Tracer:                opts.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("xlf: build testbed: %w", err)
@@ -153,6 +160,8 @@ func New(opts Options) (*System, error) {
 		return nil, fmt.Errorf("xlf: authority: %w", err)
 	}
 	s.Proxy = xauth.NewProxy(s.Authority, xauth.DefaultProxyConfig())
+	s.Authority.Tracer = opts.Tracer
+	s.Proxy.Tracer = opts.Tracer
 
 	if !s.protected {
 		return s, nil
@@ -182,11 +191,14 @@ func New(opts Options) (*System, error) {
 		coreCfg = core.DefaultConfig()
 	}
 	s.Core = core.New(coreCfg, contain)
+	s.Core.Tracer = opts.Tracer
 
 	// Correlation-driven token lifetimes (§IV-A1).
 	s.Authority.LifetimePolicy = func(u xauth.User, deviceID string) time.Duration {
 		return s.Core.TokenLifetimeFor(deviceID, time.Hour, home.Kernel.Now())
 	}
+
+	s.NAC.Tracer = opts.Tracer
 
 	// ----- Constrained access (§IV-A3): deny-by-default NAC. -----
 	for id, d := range home.Devices {
@@ -229,6 +241,7 @@ func New(opts Options) (*System, error) {
 	// ----- Traffic shaping (§IV-B1). -----
 	if opts.ShapingLevel > 0 {
 		s.Shaper = shaping.New(home.Kernel, shaping.Level(opts.ShapingLevel))
+		s.Shaper.SetTracer(opts.Tracer)
 		home.Gateway.Shaper = s.Shaper.GatewayHook()
 	}
 
@@ -238,6 +251,7 @@ func New(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("xlf: rules: %w", err)
 	}
+	s.Rules.SetTracer(opts.Tracer)
 	tap := func(dir netsim.TapDirection, pkt *netsim.Packet) {
 		// Radio-activity bookkeeping for the RF-evidence spoof check
 		// (LAN-side frames; uplink attribution comes from the gateway's
@@ -304,6 +318,9 @@ func New(opts Options) (*System, error) {
 	s.Arch = core.NewArchitecture(s.Core.Config().Deployment)
 	for _, c := range core.StandardComponents() {
 		s.Arch.Register(c)
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.Emit(obs.LayerCore, "deploy", "", s.Core.Config().Deployment)
 	}
 	return s, nil
 }
@@ -563,7 +580,16 @@ func (s *System) onCommand(cmd service.Command) {
 // malware detection (§IV-A4).
 func (s *System) attest() {
 	now := s.Home.Kernel.Now()
-	for id, d := range s.Home.Devices {
+	// Sorted sweep order: signal ingestion order must not depend on map
+	// iteration, or traces (and any order-sensitive correlation) would
+	// differ between identically-seeded runs.
+	ids := make([]string, 0, len(s.Home.Devices))
+	for id := range s.Home.Devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := s.Home.Devices[id]
 		if s.NAC.Blocked(netsim.Addr("lan:" + id)) {
 			continue // already contained
 		}
