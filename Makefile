@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check report bench
+.PHONY: build test race vet vet-fix fmt check report bench
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,18 @@ race:
 	$(GO) test -race ./...
 
 # vet runs both the standard toolchain vet and the repository's own
-# cross-layer analyzers (layercheck, determinism, lockcheck, errdrop).
+# cross-layer analyzers (layer DAG, determinism, lock hygiene, error
+# discipline, pairing, crypto misuse, dead/unreachable code, taint).
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/xlf-vet ./...
+	$(GO) run ./cmd/xlf-vet -baseline vet-baseline.json ./...
+
+# vet-fix applies xlf-vet's suggested mechanical edits, then fails if
+# the tree is left dirty — i.e. there were fixable findings. Run it,
+# review the diff, commit.
+vet-fix:
+	$(GO) run ./cmd/xlf-vet -baseline vet-baseline.json -fix ./... || true
+	git diff --exit-code
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,117 @@
+package main
+
+// The per-package result cache. Findings are a pure function of the
+// module source and the rule set, but NOT of the package's own files
+// alone: taint summaries and the layer table make every rule's output
+// potentially dependent on any file in the module. The cache key is
+// therefore a module-wide context hash combined with the package path —
+// an entry hits only when nothing in the module changed, which is
+// exactly the CI re-run case the cache exists for, and it can never
+// serve stale cross-package results.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"xlf/internal/analysis"
+)
+
+// cacheSchema invalidates all entries when the on-disk shape or the
+// analyzer implementations change in ways the source hash cannot see.
+const cacheSchema = "xlf-vet-cache-v1"
+
+// vetCache is a directory of per-package finding lists keyed by the
+// module context hash.
+type vetCache struct {
+	dir string
+	ctx string
+}
+
+// openCache computes the module context hash and ensures the cache
+// directory exists. A nil cache (disabled) is returned for dir == "".
+func openCache(dir, root string, allPkgs []*analysis.Package, analyzers []analysis.Analyzer) (*vetCache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ctx, err := moduleContextHash(root, allPkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return &vetCache{dir: dir, ctx: ctx}, nil
+}
+
+// moduleContextHash digests go.mod, every loaded source file (path and
+// content) and the active rule names.
+func moduleContextHash(root string, pkgs []*analysis.Package, analyzers []analysis.Analyzer) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, cacheSchema+"\x00")
+	for _, a := range analyzers {
+		io.WriteString(h, a.Name()+"\x00")
+	}
+	files := []string{filepath.Join(root, "go.mod")}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			files = append(files, f.Name)
+		}
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		rel := name
+		if r, rerr := filepath.Rel(root, name); rerr == nil {
+			rel = filepath.ToSlash(r)
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", rel, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *vetCache) path(pkgPath string) string {
+	sum := sha256.Sum256([]byte(c.ctx + "\x00" + pkgPath))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// get returns the cached findings for pkgPath, and whether the entry
+// exists. An unreadable or corrupt entry is a miss.
+func (c *vetCache) get(pkgPath string) ([]analysis.Finding, bool) {
+	data, err := os.ReadFile(c.path(pkgPath))
+	if err != nil {
+		return nil, false
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, false
+	}
+	return findings, true
+}
+
+// put stores findings (already module-relative) for pkgPath. Cache
+// write failures are deliberately silent: the run's results are
+// correct either way.
+func (c *vetCache) put(pkgPath string, findings []analysis.Finding) {
+	if findings == nil {
+		findings = []analysis.Finding{}
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	tmp := c.path(pkgPath) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.path(pkgPath))
+}

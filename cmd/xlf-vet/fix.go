@@ -1,0 +1,222 @@
+package main
+
+// -fix mode: apply the mechanical edits analyzers attach to findings
+// (Finding.Fix). Edits are byte-range replacements plus an optional
+// required import; files are rewritten through go/format so the result
+// is always gofmt-clean, and imports orphaned by an edit (bytes after a
+// bytes.Equal -> hmac.Equal swap) are pruned when nothing else uses
+// them. A fix that cannot be applied safely — overlapping ranges, an
+// import already bound to a different local name — is skipped, leaving
+// the finding reported but the file untouched by that edit.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xlf/internal/analysis"
+)
+
+// applyFixes applies every applicable suggested fix, grouped per file.
+// Finding paths are module-relative; root resolves them. Returns the
+// number of edits applied.
+func applyFixes(root string, findings []analysis.Finding, stderr io.Writer) (int, error) {
+	byFile := make(map[string][]analysis.SuggestedFix)
+	var files []string
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		if _, seen := byFile[f.File]; !seen {
+			files = append(files, f.File)
+		}
+		byFile[f.File] = append(byFile[f.File], *f.Fix)
+	}
+	sort.Strings(files)
+	applied := 0
+	for _, rel := range files {
+		n, err := fixFile(filepath.Join(root, rel), byFile[rel])
+		if err != nil {
+			return applied, fmt.Errorf("%s: %w", rel, err)
+		}
+		if n > 0 {
+			fmt.Fprintf(stderr, "xlf-vet: applied %d fix(es) to %s\n", n, rel)
+		}
+		applied += n
+	}
+	return applied, nil
+}
+
+// fixFile applies the applicable subset of fixes to one file and
+// rewrites it. Returns how many edits were applied.
+func fixFile(path string, fixes []analysis.SuggestedFix) (int, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	imports, err := fileImports(path, src)
+	if err != nil {
+		return 0, err
+	}
+
+	// Keep the safe subset: in-bounds, non-overlapping (latest-start
+	// first so splicing never shifts pending offsets), and with the
+	// required import either absent or bound to its default name.
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+	out := append([]byte(nil), src...)
+	needImports := map[string]bool{}
+	applied, prevStart := 0, len(src)+1
+	for _, fix := range fixes {
+		if fix.Start < 0 || fix.End > len(src) || fix.Start > fix.End || fix.End > prevStart {
+			continue
+		}
+		if fix.AddImport != "" {
+			if local, ok := imports[fix.AddImport]; ok && local != defaultImportName(fix.AddImport) {
+				continue // aliased; the replacement text would not resolve
+			}
+		}
+		out = append(out[:fix.Start], append([]byte(fix.NewText), out[fix.End:]...)...)
+		if fix.AddImport != "" {
+			if _, ok := imports[fix.AddImport]; !ok {
+				needImports[fix.AddImport] = true
+			}
+		}
+		prevStart = fix.Start
+		applied++
+	}
+	if applied == 0 {
+		return 0, nil
+	}
+	for imp := range needImports {
+		out, err = insertImport(out, imp)
+		if err != nil {
+			return 0, err
+		}
+	}
+	out, err = pruneUnusedImports(path, out)
+	if err != nil {
+		return 0, err
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		return 0, fmt.Errorf("fixed source does not format: %w", err)
+	}
+	return applied, os.WriteFile(path, formatted, 0o644)
+}
+
+// fileImports maps import path -> local name for one source file.
+func fileImports(path string, src []byte) (map[string]string, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := defaultImportName(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[p] = name
+	}
+	return out, nil
+}
+
+func defaultImportName(path string) string {
+	return path[strings.LastIndex(path, "/")+1:]
+}
+
+// insertImport adds `"path"` to the file's import block textually; the
+// final format.Source pass re-sorts the block.
+func insertImport(src []byte, path string) ([]byte, error) {
+	text := string(src)
+	if i := strings.Index(text, "import ("); i >= 0 {
+		nl := strings.IndexByte(text[i:], '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("malformed import block")
+		}
+		at := i + nl + 1
+		return []byte(text[:at] + "\t" + strconv.Quote(path) + "\n" + text[at:]), nil
+	}
+	if i := strings.Index(text, "\nimport "); i >= 0 {
+		return []byte(text[:i+1] + "import " + strconv.Quote(path) + "\n" + text[i+1:]), nil
+	}
+	// No imports yet: add a declaration after the package clause line.
+	i := strings.Index(text, "\npackage ")
+	if i < 0 && strings.HasPrefix(text, "package ") {
+		i = 0
+	}
+	if i < 0 {
+		return nil, fmt.Errorf("no package clause")
+	}
+	nl := strings.IndexByte(text[i+1:], '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no line after package clause")
+	}
+	at := i + 1 + nl + 1
+	return []byte(text[:at] + "\nimport " + strconv.Quote(path) + "\n" + text[at:]), nil
+}
+
+// pruneUnusedImports removes plain (unaliased, non-blank, non-dot)
+// imports whose local name no longer appears anywhere outside the
+// import declaration — edits like bytes.Equal -> hmac.Equal orphan
+// their old package. Removal is by line, then validated by the caller's
+// format pass.
+func pruneUnusedImports(path string, src []byte) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("fixed source does not parse: %w", err)
+	}
+	used := make(map[string]bool)
+	for _, decl := range f.Decls {
+		if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+			return true
+		})
+	}
+	var deadLines []int
+	for _, imp := range f.Imports {
+		if imp.Name != nil {
+			continue // aliased, blank and dot imports are kept as-is
+		}
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if !used[defaultImportName(p)] {
+			deadLines = append(deadLines, fset.Position(imp.Pos()).Line)
+		}
+	}
+	if len(deadLines) == 0 {
+		return src, nil
+	}
+	dead := make(map[int]bool, len(deadLines))
+	for _, l := range deadLines {
+		dead[l] = true
+	}
+	lines := strings.SplitAfter(string(src), "\n")
+	var out strings.Builder
+	for i, line := range lines {
+		if !dead[i+1] {
+			out.WriteString(line)
+		}
+	}
+	return []byte(out.String()), nil
+}

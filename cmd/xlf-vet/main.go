@@ -1,10 +1,14 @@
 // Command xlf-vet runs the repository's cross-layer static analysis: the
 // XLF layer import DAG, the simulator determinism contract, lock-copy
-// hygiene, error discipline in security-critical packages, and the two
-// taint dataflow rules — plaintextescape (device payloads must be sealed
-// before reaching a network send) and secretleak (token/key material must
-// not flow into logs, errors, or metrics labels). See internal/analysis
-// for the rules and DESIGN.md for the architecture table they enforce.
+// hygiene, error discipline in security-critical packages, the
+// path-sensitive CFG rules — cryptomisuse (hardcoded/short/math-rand
+// keys, constant or reused nonces, non-constant-time MAC compares),
+// pairing (locks, trace regions and timers released on every path),
+// deadstore and unreachable — and the two taint dataflow rules,
+// plaintextescape (device payloads must be sealed before reaching a
+// network send) and secretleak (token/key material must not flow into
+// logs, errors, or metrics labels). See internal/analysis for the rules
+// and DESIGN.md for the architecture table they enforce.
 //
 // Usage:
 //
@@ -15,9 +19,13 @@
 //	xlf-vet -disable lockcheck ./...   # drop rules for one run
 //	xlf-vet -baseline vet.json ./...   # report only findings not in the baseline
 //	xlf-vet -baseline vet.json -write-baseline ./...  # freeze current findings
+//	xlf-vet -parallel 8 ./...          # per-package worker pool
+//	xlf-vet -cache-dir .vetcache ./... # reuse results when the module is unchanged
+//	xlf-vet -fix ./...                 # apply suggested edits for mechanical findings
 //
 // Findings are reported as "file:line: [rule] message" with paths
-// relative to the module root. Exit status: 0 when clean (or when every
+// relative to the module root; output is deterministic at any -parallel
+// setting, cold or warm cache. Exit status: 0 when clean (or when every
 // finding is suppressed by the baseline), 1 when findings were reported,
 // 2 on usage or load errors.
 package main
@@ -29,7 +37,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"xlf/internal/analysis"
 )
@@ -44,10 +54,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
 		sarifOut  = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
-		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop,plaintextescape,secretleak)")
+		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak)")
 		root      = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 		baseline  = fs.String("baseline", "", "baseline file: suppress the findings recorded in it")
 		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit clean")
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "package-level analysis workers")
+		cacheDir  = fs.String("cache-dir", "", "directory for the per-package result cache (empty disables caching)")
+		fix       = fs.Bool("fix", false, "apply suggested edits for mechanical findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,11 +106,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := analysis.Run(pkgs, analyzers)
-	relativize(findings, moduleRoot)
+	cache, err := openCache(*cacheDir, moduleRoot, allPkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "xlf-vet:", err)
+		return 2
+	}
+	findings := collectFindings(pkgs, analyzers, *parallel, cache, moduleRoot)
 
 	if *writeBase {
-		if err := analysis.NewBaseline(findings).WriteFile(*baseline); err != nil {
+		b := analysis.NewBaseline(findings)
+		// Refreshing an existing baseline keeps the justifications its
+		// surviving entries carry.
+		if old, err := analysis.LoadBaseline(*baseline); err == nil {
+			b.Merge(old)
+		}
+		if err := b.WriteFile(*baseline); err != nil {
 			fmt.Fprintln(stderr, "xlf-vet:", err)
 			return 2
 		}
@@ -112,6 +135,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		findings, suppressed = b.Filter(findings)
+	}
+
+	if *fix {
+		applied, err := applyFixes(moduleRoot, findings, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+		if applied > 0 && cache != nil {
+			// The tree changed under the cache's context hash; entries for
+			// the old hash are simply never read again.
+			fmt.Fprintf(stderr, "xlf-vet: %d edit(s) applied; re-run to verify\n", applied)
+		}
 	}
 
 	switch {
@@ -147,6 +183,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xlf-vet: clean (%d finding(s) suppressed by baseline)\n", suppressed)
 	}
 	return 0
+}
+
+// collectFindings runs the analyzers over pkgs through the worker pool,
+// consulting the per-package cache when enabled. Results are
+// module-relative and fully sorted, so the output is byte-identical at
+// any worker count with a cold or warm cache.
+func collectFindings(pkgs []*analysis.Package, analyzers []analysis.Analyzer, workers int, cache *vetCache, root string) []analysis.Finding {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]analysis.Finding, len(pkgs))
+	var misses []int
+	for i, pkg := range pkgs {
+		if cache == nil {
+			misses = append(misses, i)
+			continue
+		}
+		if cached, ok := cache.get(pkg.ImportPath); ok {
+			results[i] = cached
+			continue
+		}
+		misses = append(misses, i)
+	}
+	if len(misses) > 0 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		if workers > len(misses) {
+			workers = len(misses)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					fs := analysis.RunPackage(pkgs[i], analyzers)
+					relativize(fs, root)
+					analysis.SortFindings(fs)
+					if cache != nil {
+						cache.put(pkgs[i].ImportPath, fs)
+					}
+					results[i] = fs
+				}
+			}()
+		}
+		for _, i := range misses {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	var out []analysis.Finding
+	for _, fs := range results {
+		out = append(out, fs...)
+	}
+	analysis.SortFindings(out)
+	return out
 }
 
 // relativize rewrites finding paths relative to the module root, so

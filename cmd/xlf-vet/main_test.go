@@ -32,8 +32,9 @@ func repoRoot(t *testing.T) string {
 // TestRepoTipIsClean is the acceptance gate: xlf-vet over the whole
 // module exits 0 with no output.
 func TestRepoTipIsClean(t *testing.T) {
+	root := repoRoot(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-root", repoRoot(t), "./..."}, &stdout, &stderr)
+	code := run([]string{"-root", root, "-baseline", filepath.Join(root, "vet-baseline.json"), "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
 	}
@@ -43,8 +44,9 @@ func TestRepoTipIsClean(t *testing.T) {
 }
 
 func TestRepoTipJSONIsEmpty(t *testing.T) {
+	root := repoRoot(t)
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-root", repoRoot(t), "-json", "./..."}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-root", root, "-baseline", filepath.Join(root, "vet-baseline.json"), "-json", "./..."}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr.String())
 	}
 	var findings []map[string]any
@@ -154,6 +156,34 @@ func Verify() error { return errors.New("bad") }
 
 func Use() { Verify() }
 `)
+	// dpi hosts the CFG-family violations: cryptomisuse (a hardcoded
+	// short HMAC key and a variable-time tag compare, the latter carrying
+	// a suggested fix), a dead store, and unreachable code.
+	write("internal/dpi/dpi.go", `package dpi
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+func Verify(msg, tag []byte) bool {
+	m := hmac.New(sha256.New, []byte("k"))
+	m.Write(msg)
+	return bytes.Equal(m.Sum(nil), tag)
+}
+
+func Classify(b []byte) int {
+	n := 0
+	n = len(b)
+	return n
+}
+
+func Drop(b []byte) int {
+	return len(b)
+	panic("unreachable")
+}
+`)
 	return root
 }
 
@@ -174,6 +204,10 @@ func TestSeededViolationsFail(t *testing.T) {
 		{"internal/xauth/xauth.go", "errdrop"},
 		{"internal/testbed/testbed.go", "plaintextescape"},
 		{"internal/service/service.go", "secretleak"},
+		{"internal/core/core.go", "pairing"},
+		{"internal/dpi/dpi.go", "cryptomisuse"},
+		{"internal/dpi/dpi.go", "deadstore"},
+		{"internal/dpi/dpi.go", "unreachable"},
 	} {
 		re := regexp.MustCompile(regexp.QuoteMeta(want.file) + `:\d+: \[` + want.rule + `\]`)
 		if !re.MatchString(out) {
@@ -192,7 +226,7 @@ func TestSeededViolationsFail(t *testing.T) {
 func TestDisableDropsRule(t *testing.T) {
 	root := seedModule(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-root", root, "-disable", "determinism,errdrop,layercheck,lockcheck,plaintextescape,secretleak", "./..."}, &stdout, &stderr)
+	code := run([]string{"-root", root, "-disable", "cryptomisuse,deadstore,determinism,errdrop,layercheck,lockcheck,pairing,plaintextescape,secretleak,unreachable", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d with all rules disabled, want 0\n%s%s", code, stdout.String(), stderr.String())
 	}
@@ -342,8 +376,8 @@ func TestSARIFGolden(t *testing.T) {
 		t.Fatalf("want one run from driver xlf-vet, got %+v", log.Runs)
 	}
 	rules := log.Runs[0].Tool.Driver.Rules
-	if len(rules) != 6 {
-		t.Errorf("rules array has %d entries, want all 6 configured rules", len(rules))
+	if len(rules) != 10 {
+		t.Errorf("rules array has %d entries, want all 10 configured rules", len(rules))
 	}
 	for _, r := range log.Runs[0].Results {
 		if r.Level != "error" {
@@ -419,5 +453,94 @@ func Later() time.Time { return time.Now().Add(time.Second) }
 	}
 	if strings.Count(out, "\n") != 1 {
 		t.Errorf("want exactly the one new finding, got:\n%s", out)
+	}
+}
+
+// TestParallelAndCacheDeterminism is the tentpole acceptance check: the
+// SARIF output is byte-identical at -parallel 1 and -parallel 8, with a
+// cold and a warm cache — and a cached run still sees new violations.
+func TestParallelAndCacheDeterminism(t *testing.T) {
+	root := seedModule(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	sarif := func(extra ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-root", root, "-sarif"}, extra...)
+		args = append(args, "./...")
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("args %v: exit %d, want 1\n%s", extra, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	serial := sarif("-parallel", "1")
+	if par := sarif("-parallel", "8"); par != serial {
+		t.Errorf("-parallel 8 output differs from -parallel 1")
+	}
+	if cold := sarif("-parallel", "8", "-cache-dir", cacheDir); cold != serial {
+		t.Errorf("cold-cache output differs from serial run")
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated after cold run (err=%v, %d entries)", err, len(entries))
+	}
+	if warm := sarif("-parallel", "8", "-cache-dir", cacheDir); warm != serial {
+		t.Errorf("warm-cache output differs from serial run")
+	}
+
+	// Any module change invalidates the context hash: the cached run
+	// must surface the new violation, never stale results.
+	if err := os.WriteFile(filepath.Join(root, "internal/sim/extra.go"), []byte(`package sim
+
+import "time"
+
+func Later() time.Time { return time.Now().Add(time.Second) }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after := sarif("-parallel", "8", "-cache-dir", cacheDir)
+	if after == serial {
+		t.Errorf("cached run served stale results after a module change")
+	}
+	if !strings.Contains(after, "internal/sim/extra.go") {
+		t.Errorf("cached run missing the new violation:\n%s", after)
+	}
+}
+
+// TestFixAppliesMechanicalEdits: -fix rewrites the variable-time tag
+// compare to hmac.Equal, prunes the orphaned bytes import, and leaves a
+// tree where only the non-mechanical findings remain.
+func TestFixAppliesMechanicalEdits(t *testing.T) {
+	root := seedModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-fix", "./internal/dpi"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (findings are still reported in the fixing run)\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied") {
+		t.Errorf("stderr missing fix report: %q", stderr.String())
+	}
+	src, err := os.ReadFile(filepath.Join(root, "internal/dpi/dpi.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(src, []byte("hmac.Equal(")) || bytes.Contains(src, []byte("bytes.Equal(")) {
+		t.Errorf("tag compare not rewritten:\n%s", src)
+	}
+	if bytes.Contains(src, []byte(`"bytes"`)) {
+		t.Errorf("orphaned bytes import not pruned:\n%s", src)
+	}
+
+	// Re-run without -fix: the compare finding is gone; the hardcoded
+	// short key (not mechanically fixable) still fails the gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "./internal/dpi"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("post-fix exit %d, want 1\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if strings.Contains(out, "compared with") {
+		t.Errorf("compare finding survived the fix:\n%s", out)
+	}
+	if !strings.Contains(out, "[cryptomisuse]") {
+		t.Errorf("short-key finding missing after fix:\n%s", out)
 	}
 }

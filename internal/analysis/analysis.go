@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic, printed as "file:line: [rule] message".
@@ -30,6 +31,19 @@ type Finding struct {
 	Line    int            `json:"line"`
 	Rule    string         `json:"rule"`
 	Message string         `json:"message"`
+	// Fix, when non-nil, is a mechanical edit that resolves the finding;
+	// xlf-vet -fix applies it.
+	Fix *SuggestedFix `json:"fix,omitempty"`
+}
+
+// SuggestedFix is one byte-range replacement within the finding's file.
+// Offsets index the file content as parsed; AddImport names an import
+// path the replacement text requires.
+type SuggestedFix struct {
+	Start     int    `json:"start"`
+	End       int    `json:"end"`
+	NewText   string `json:"new_text"`
+	AddImport string `json:"add_import,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -99,17 +113,66 @@ func (p *Package) finding(rule string, pos token.Pos, format string, args ...any
 }
 
 // Run applies every analyzer to every package and returns the combined
-// findings sorted by file, line and rule. Module-scoped analyzers are
-// prepared over the same package set first (a no-op when the driver
-// already prepared them on the full module).
+// findings sorted by file, line, rule and message. Module-scoped
+// analyzers are prepared over the same package set first (a no-op when
+// the driver already prepared them on the full module).
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	return RunParallel(pkgs, analyzers, 1)
+}
+
+// RunParallel is Run with the per-package Check calls fanned out over a
+// worker pool. Analyzer state is frozen by Prepare before the fan-out
+// (the oracle and taint summaries become read-only), so Check calls on
+// distinct packages are safe concurrently. The output is sorted with
+// SortFindings and therefore byte-identical at any worker count.
+func RunParallel(pkgs []*Package, analyzers []Analyzer, workers int) []Finding {
 	Prepare(pkgs, analyzers)
-	var out []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			out = append(out, a.Check(pkg)...)
-		}
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	results := make([][]Finding, len(pkgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = RunPackage(pkgs[i], analyzers)
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	var out []Finding
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	SortFindings(out)
+	return out
+}
+
+// RunPackage applies every analyzer to one package. Prepare must have
+// run first; the result is sorted and self-contained, which is what the
+// driver's per-package result cache stores.
+func RunPackage(pkg *Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Check(pkg)...)
+	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, rule and message — a
+// total order, so concurrent runs always print identically.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -117,9 +180,11 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		if out[i].Line != out[j].Line {
 			return out[i].Line < out[j].Line
 		}
-		return out[i].Rule < out[j].Rule
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Message < out[j].Message
 	})
-	return out
 }
 
 // ModulePath reads the module path from root/go.mod.
@@ -229,6 +294,23 @@ func importName(f *ast.File, path string) (string, bool) {
 		return p[strings.LastIndex(p, "/")+1:], true
 	}
 	return "", false
+}
+
+// importMap maps every local import name of f to its import path
+// (skipping blank and dot imports).
+func importMap(f *ast.File) map[string]string {
+	imports := make(map[string]string)
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		if name != "_" && name != "." {
+			imports[name] = path
+		}
+	}
+	return imports
 }
 
 // allowedLines collects source lines covered by comments containing

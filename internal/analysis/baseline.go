@@ -14,8 +14,13 @@ import (
 // The price is that several identical findings in one file collapse to
 // one entry; for a gate that only needs "was this exact complaint
 // already reviewed?", that trade is right.
+//
+// Each entry may carry a free-form justification explaining why the
+// finding is waived rather than fixed (the review trail for deliberate
+// exceptions like the simulation's fixed demo keys). Justifications are
+// preserved across load/write cycles.
 type Baseline struct {
-	entries map[baselineKey]bool
+	entries map[baselineKey]string // key -> justification ("" when none)
 }
 
 type baselineKey struct {
@@ -30,13 +35,15 @@ type baselineEntry struct {
 	File    string `json:"file"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+	// Justification documents why this finding is waived, not fixed.
+	Justification string `json:"justification,omitempty"`
 }
 
 // NewBaseline freezes the given findings.
 func NewBaseline(findings []Finding) *Baseline {
-	b := &Baseline{entries: make(map[baselineKey]bool, len(findings))}
+	b := &Baseline{entries: make(map[baselineKey]string, len(findings))}
 	for _, f := range findings {
-		b.entries[baselineKey{f.File, f.Rule, f.Message}] = true
+		b.entries[baselineKey{f.File, f.Rule, f.Message}] = ""
 	}
 	return b
 }
@@ -51,9 +58,9 @@ func LoadBaseline(path string) (*Baseline, error) {
 	if err := json.Unmarshal(data, &entries); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
-	b := &Baseline{entries: make(map[baselineKey]bool, len(entries))}
+	b := &Baseline{entries: make(map[baselineKey]string, len(entries))}
 	for _, e := range entries {
-		b.entries[baselineKey{e.File, e.Rule, e.Message}] = true
+		b.entries[baselineKey{e.File, e.Rule, e.Message}] = e.Justification
 	}
 	return b, nil
 }
@@ -61,8 +68,8 @@ func LoadBaseline(path string) (*Baseline, error) {
 // WriteFile persists the baseline as sorted, indented JSON.
 func (b *Baseline) WriteFile(path string) error {
 	entries := make([]baselineEntry, 0, len(b.entries))
-	for k := range b.entries {
-		entries = append(entries, baselineEntry{File: k.File, Rule: k.Rule, Message: k.Message})
+	for k, just := range b.entries {
+		entries = append(entries, baselineEntry{File: k.File, Rule: k.Rule, Message: k.Message, Justification: just})
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		a, c := entries[i], entries[j]
@@ -85,11 +92,24 @@ func (b *Baseline) WriteFile(path string) error {
 // i.e. new) and those it suppresses.
 func (b *Baseline) Filter(findings []Finding) (kept []Finding, suppressed int) {
 	for _, f := range findings {
-		if b.entries[baselineKey{f.File, f.Rule, f.Message}] {
+		if _, ok := b.entries[baselineKey{f.File, f.Rule, f.Message}]; ok {
 			suppressed++
 			continue
 		}
 		kept = append(kept, f)
 	}
 	return kept, suppressed
+}
+
+// Merge carries justifications from old into b for entries present in
+// both, so re-freezing a baseline does not erase the review trail.
+func (b *Baseline) Merge(old *Baseline) {
+	if old == nil {
+		return
+	}
+	for k, just := range old.entries {
+		if _, ok := b.entries[k]; ok && just != "" {
+			b.entries[k] = just
+		}
+	}
 }

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestCryptoMisuseFixture(t *testing.T) {
+	checkFixture(t, "cryptomisuse", NewCryptoMisuse(CryptoConfig{
+		Keys: []CryptoKeyCall{
+			{Pkg: fixtureModule + "/vault", Name: "NewCipher", KeyArg: 0, MinKeyLen: 16},
+			{Pkg: "crypto/hmac", Name: "New", KeyArg: 1, MinKeyLen: 16},
+		},
+		Nonces: []CryptoNonceCall{
+			{Name: "Seal", NArgs: 4, NonceArg: 1},
+		},
+		RandPkgs: []string{"math/rand", "math/rand/v2"},
+	}))
+}

@@ -1,0 +1,303 @@
+package analysis
+
+// The dead-code rule family: two path-sensitive analyzers over the CFG.
+//
+//   - deadstore: a complete write to a local variable whose value can
+//     never be read on any path (every path overwrites it or exits
+//     first). Built on reaching definitions + the DefIsDead query.
+//
+//   - unreachable: statements no path from the function entry reaches
+//     (code after return/panic, dead branches of goto/labels).
+//
+// Both are correctness signals in this codebase rather than style: a
+// dead store to a nonce or a tag variable usually means the fresh value
+// was computed and then never fed into the seal/verify call.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeadStoreAllowMarker waives a deadstore finding for its line.
+const DeadStoreAllowMarker = "xlf:allow-deadstore"
+
+// UnreachableAllowMarker waives an unreachable finding for its line.
+const UnreachableAllowMarker = "xlf:allow-unreachable"
+
+// ---------------------------------------------------------------------
+// deadstore
+
+// NewDeadStore builds the dead-store analyzer.
+func NewDeadStore() Analyzer {
+	return &deadStore{oracle: newTypeOracle()}
+}
+
+type deadStore struct{ oracle *typeOracle }
+
+func (d *deadStore) Name() string { return "deadstore" }
+func (d *deadStore) Doc() string {
+	return "a value assigned to a local variable must be readable on some path"
+}
+
+func (d *deadStore) Prepare(pkgs []*Package) { d.oracle.check(pkgs) }
+
+func (d *deadStore) Check(pkg *Package) []Finding {
+	var out []Finding
+	pt := d.oracle.typesOf(pkg)
+	for fi := range pkg.Files {
+		f := &pkg.Files[fi]
+		allowed := allowedLines(pkg.Fset, f.AST, DeadStoreAllowMarker)
+		for _, fn := range Functions(f.AST) {
+			for _, fnd := range checkDeadStores(pkg, pt, fn) {
+				if !allowed[fnd.Line] {
+					out = append(out, fnd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkDeadStores(pkg *Package, pt *pkgTypes, fn Function) []Finding {
+	g := BuildCFG(fn.Name, fn.Body)
+	rd := NewReachingDefs(g, pt)
+	reach := g.Reachable()
+	exit := exitReadSet(pt, g, fn)
+	captured := capturedVars(pt, fn)
+
+	var out []Finding
+	for i := range rd.Defs {
+		def := &rd.Defs[i]
+		w := def.Write
+		switch {
+		case !w.Complete || w.Ranged:
+			// Compound assignments read the old value; range variables
+			// are rewritten by the loop itself.
+			continue
+		case w.RHS == nil:
+			// `var x T` zero-value declarations are shape, not a store.
+			continue
+		case isTypeSwitchGuard(w.RHS):
+			// In `switch v := x.(type)` every case body binds its own
+			// implicit object, so the guard write never reads as used.
+			continue
+		case !reach[def.Block]:
+			// Unreachable stores are the unreachable rule's finding.
+			continue
+		case exit[def.Obj]:
+			// Named results and defer-read variables are read at exit.
+			continue
+		case captured[def.Obj]:
+			// A closure capturing the variable can observe any write
+			// whenever it runs; the CFG cannot order those reads.
+			continue
+		case !declaredWithin(pt, fn, def.Obj):
+			// Writes to globals and closure-captured variables escape the
+			// function's CFG; their readers are elsewhere.
+			continue
+		}
+		if DefIsDead(pt, g, def, exit) {
+			out = append(out, pkg.finding("deadstore", w.Ident.Pos(),
+				"value assigned to %s is never read on any path; remove the dead store or use the value",
+				w.Ident.Name))
+		}
+	}
+	return out
+}
+
+// isTypeSwitchGuard matches the `x.(type)` form only legal in a type
+// switch guard.
+func isTypeSwitchGuard(rhs ast.Expr) bool {
+	ta, ok := rhs.(*ast.TypeAssertExpr)
+	return ok && ta.Type == nil
+}
+
+// exitReadSet collects the objects implicitly read when the function
+// exits: named results, and anything a deferred call (or a closure it
+// runs) references — defers observe the variable's final value.
+func exitReadSet(pt *pkgTypes, g *CFG, fn Function) map[any]bool {
+	exit := make(map[any]bool)
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			for _, name := range field.Names {
+				exit[identObj(pt, name)] = true
+			}
+		}
+	}
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name != "_" {
+				exit[identObj(pt, id)] = true
+			}
+			return true
+		})
+	}
+	return exit
+}
+
+// capturedVars collects objects referenced inside function literals but
+// declared outside them — by-reference captures whose reads the
+// enclosing CFG cannot place. Without type info every identifier a
+// literal mentions is treated as captured.
+func capturedVars(pt *pkgTypes, fn Function) map[any]bool {
+	out := make(map[any]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			id, isID := x.(*ast.Ident)
+			if !isID || id.Name == "_" {
+				return true
+			}
+			obj := identObj(pt, id)
+			if v, isVar := obj.(*types.Var); isVar {
+				if lit.Pos() <= v.Pos() && v.Pos() <= lit.End() {
+					return true // the literal's own local
+				}
+			}
+			out[obj] = true
+			return true
+		})
+		return false // inner literals are covered by the walk above
+	})
+	return out
+}
+
+// declaredWithin reports whether obj is declared inside fn (body or
+// parameter list). With checked types this is positional; with the
+// string fallback it is approximated by "some definition in this
+// function declares it", which rejects globals by name.
+func declaredWithin(pt *pkgTypes, fn Function, obj any) bool {
+	if v, ok := obj.(*types.Var); ok {
+		return fn.Type.Pos() <= v.Pos() && v.Pos() <= fn.Body.End()
+	}
+	name, ok := obj.(string)
+	if !ok {
+		return false
+	}
+	declared := false
+	ast.Inspect(fn.Body, func(x ast.Node) bool {
+		if declared {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, l := range x.Lhs {
+					if id, isID := l.(*ast.Ident); isID && "ident:"+id.Name == name {
+						declared = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range x.Names {
+				if "ident:"+id.Name == name {
+					declared = true
+				}
+			}
+		}
+		return true
+	})
+	return declared
+}
+
+// ---------------------------------------------------------------------
+// unreachable
+
+// NewUnreachable builds the unreachable-code analyzer.
+func NewUnreachable() Analyzer { return unreachable{} }
+
+type unreachable struct{}
+
+func (unreachable) Name() string { return "unreachable" }
+func (unreachable) Doc() string {
+	return "every statement must be reachable from the function entry"
+}
+
+func (unreachable) Check(pkg *Package) []Finding {
+	var out []Finding
+	for fi := range pkg.Files {
+		f := &pkg.Files[fi]
+		allowed := allowedLines(pkg.Fset, f.AST, UnreachableAllowMarker)
+		for _, fn := range Functions(f.AST) {
+			for _, fnd := range checkUnreachable(pkg, fn) {
+				if !allowed[fnd.Line] {
+					out = append(out, fnd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkUnreachable reports the entry statement of each maximal
+// unreachable region, not every statement in it — one finding per
+// mistake.
+func checkUnreachable(pkg *Package, fn Function) []Finding {
+	g := BuildCFG(fn.Name, fn.Body)
+	reach := g.Reachable()
+
+	dead := make(map[*Block]bool)
+	for _, b := range g.Blocks {
+		if !reach[b] && b != g.Exit && len(b.Nodes) > 0 {
+			dead[b] = true
+		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+
+	covered := make(map[*Block]bool)
+	var cover func(b *Block)
+	cover = func(b *Block) {
+		if covered[b] || !dead[b] {
+			return
+		}
+		covered[b] = true
+		for _, s := range b.Succs {
+			cover(s)
+		}
+	}
+
+	var out []Finding
+	report := func(b *Block) {
+		out = append(out, pkg.finding("unreachable", b.Nodes[0].Pos(),
+			"unreachable code: no path from the function entry reaches this statement"))
+		cover(b)
+	}
+
+	// Region entries first: dead blocks with no dead predecessor.
+	for _, b := range g.Blocks {
+		if !dead[b] || covered[b] {
+			continue
+		}
+		entry := true
+		for _, p := range b.Preds {
+			if dead[p] {
+				entry = false
+				break
+			}
+		}
+		if entry {
+			report(b)
+		}
+	}
+	// Leftover cycles (a dead loop whose every block has a dead pred):
+	// report the lowest-position block of each remaining region.
+	for {
+		var first *Block
+		for _, b := range g.Blocks {
+			if dead[b] && !covered[b] && (first == nil || b.Nodes[0].Pos() < first.Nodes[0].Pos()) {
+				first = b
+			}
+		}
+		if first == nil {
+			break
+		}
+		report(first)
+	}
+	return out
+}

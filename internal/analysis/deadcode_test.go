@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+func TestDeadStoreFixture(t *testing.T) {
+	checkFixture(t, "deadstore", NewDeadStore())
+}
+
+func TestUnreachableFixture(t *testing.T) {
+	checkFixture(t, "unreachable", NewUnreachable())
+}

@@ -15,7 +15,23 @@ import (
 // are resolved by name within the package under analysis, plus the
 // sync.Mutex/sync.RWMutex spellings themselves. Test files are included;
 // a racy test is still a race.
+//
+// This rule owns only the *identity* half of the lock contract (one
+// mutex, never copied). The *balance* half — every Lock reaches its
+// Unlock on all return and panic paths — is path-sensitive and is
+// delegated to the CFG pairing engine via LockBalancePairs; earlier
+// drafts carried a syntactic balance heuristic here, which the pairing
+// engine obsoletes.
 type LockCheck struct{}
+
+// LockBalancePairs is the lock-balance contract lockcheck delegates to
+// the pairing engine (see pairing.go): the XLF rule set feeds these to
+// NewPairingAnalyzer so the balance findings are path-sensitive instead
+// of heuristic.
+var LockBalancePairs = []ReceiverPairSpec{
+	{Acquire: "Lock", Release: "Unlock"},
+	{Acquire: "RLock", Release: "RUnlock"},
+}
 
 // NewLockCheck builds the analyzer.
 func NewLockCheck() *LockCheck { return &LockCheck{} }

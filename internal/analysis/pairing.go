@@ -1,0 +1,578 @@
+package analysis
+
+// The resource-pairing rule family: path-sensitive checks, built on the
+// CFG, that every acquired resource is released on every path out of the
+// function. Two engines share the analyzer:
+//
+//   - receiver pairing: an acquire method and a release method on the
+//     same receiver expression (mutex Lock/Unlock, RLock/RUnlock). After
+//     a `mu.Lock()` every path to the exit must pass `mu.Unlock()` or
+//     the function must `defer mu.Unlock()`.
+//
+//   - value pairing: a call that returns an obligation bound to a
+//     variable (obs Tracer.Start -> *Region, time.NewTimer -> *Timer)
+//     that must be discharged by a release method on that variable
+//     (Region.End, Timer.Stop) on all paths. Passing the variable to
+//     another function, returning it, storing it into a structure or
+//     capturing it in a closure transfers the obligation and discharges
+//     the local check.
+//
+// Deliberate exceptions are waived with a `xlf:allow-pairing` comment.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// PairingAllowMarker waives a pairing finding for its line (or whole
+// function when placed in the doc comment).
+const PairingAllowMarker = "xlf:allow-pairing"
+
+// ReceiverPairSpec pairs an acquire method with its release method on
+// the same receiver expression.
+type ReceiverPairSpec struct {
+	Acquire string // method that opens the obligation ("Lock")
+	Release string // method that discharges it ("Unlock")
+}
+
+// ValuePairSpec describes a call whose bound result carries an
+// obligation discharged by a release method on the result.
+type ValuePairSpec struct {
+	// PkgPath/Func match a package-level acquire call (import path +
+	// function name), e.g. "time" + "NewTimer". Empty when the acquire
+	// is a method.
+	PkgPath string
+	Func    string
+	// Methods match acquire method calls by name (e.g. Start, StartAt).
+	// To keep false positives down when the type oracle cannot resolve
+	// the callee, ResultType additionally names the intra-module named
+	// type (sans package) the result must have when type info is
+	// available ("Region"); with no type info the method name alone
+	// matches.
+	Methods    []string
+	ResultType string
+	// Release methods discharge the obligation ("End", "EndAt", "Stop").
+	Release []string
+	// What the resource is called in diagnostics ("trace region").
+	Noun string
+}
+
+// pairingAnalyzer runs both engines over every function CFG.
+type pairingAnalyzer struct {
+	recv   []ReceiverPairSpec
+	value  []ValuePairSpec
+	oracle *typeOracle
+}
+
+// NewPairingAnalyzer builds the pairing analyzer with the given specs.
+func NewPairingAnalyzer(recv []ReceiverPairSpec, value []ValuePairSpec) Analyzer {
+	return &pairingAnalyzer{recv: recv, value: value, oracle: newTypeOracle()}
+}
+
+func (a *pairingAnalyzer) Name() string { return "pairing" }
+func (a *pairingAnalyzer) Doc() string {
+	return "acquired resources (locks, trace regions, timers) must be released on every path"
+}
+
+func (a *pairingAnalyzer) Prepare(pkgs []*Package) { a.oracle.check(pkgs) }
+
+func (a *pairingAnalyzer) Check(pkg *Package) []Finding {
+	var out []Finding
+	pt := a.oracle.typesOf(pkg)
+	for _, f := range pkg.Files {
+		allowed := allowedLines(pkg.Fset, f.AST, PairingAllowMarker)
+		for _, fn := range Functions(f.AST) {
+			g := BuildCFG(fn.Name, fn.Body)
+			w := &pairWalker{a: a, pkg: pkg, file: f.AST, pt: pt, g: g, fn: fn}
+			for _, fnd := range w.check() {
+				if !allowed[fnd.Line] {
+					out = append(out, fnd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pairWalker checks one function's CFG.
+type pairWalker struct {
+	a    *pairingAnalyzer
+	pkg  *Package
+	file *ast.File
+	pt   *pkgTypes
+	g    *CFG
+	fn   Function
+}
+
+func (w *pairWalker) check() []Finding {
+	var out []Finding
+	for _, b := range w.g.Blocks {
+		for i, n := range b.Nodes {
+			out = append(out, w.checkReceiverAcquires(b, i, n)...)
+			out = append(out, w.checkValueAcquires(b, i, n)...)
+		}
+	}
+	return out
+}
+
+// exprText renders an expression as compact source text; used to match
+// receiver expressions structurally ("s.mu" == "s.mu").
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	_ = cfg.Fprint(&buf, token.NewFileSet(), e)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// methodCall matches n as a method call `recv.Name(...)` and returns
+// the receiver expression. Package-qualified calls (pkg.Func) are
+// excluded by checking the receiver against the file's imports.
+func (w *pairWalker) methodCall(n ast.Node) (call *ast.CallExpr, recv ast.Expr, name string, ok bool) {
+	c, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return nil, nil, "", false
+	}
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID && w.isImportName(id.Name) {
+		return nil, nil, "", false
+	}
+	return c, sel.X, sel.Sel.Name, true
+}
+
+func (w *pairWalker) isImportName(name string) bool {
+	for _, imp := range w.file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		local := p[strings.LastIndex(p, "/")+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Engine 1: receiver pairing (mutexes).
+
+// checkReceiverAcquires scans node n for acquire method calls and
+// verifies each is released on every path.
+func (w *pairWalker) checkReceiverAcquires(b *Block, idx int, n ast.Node) []Finding {
+	var out []Finding
+	inspectNode(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false // literal bodies have their own CFG
+		}
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		c, recv, name, ok := w.methodCall(call)
+		if !ok || len(c.Args) != 0 {
+			return true
+		}
+		for _, spec := range w.a.recv {
+			if name != spec.Acquire {
+				continue
+			}
+			recvText := exprText(recv)
+			if w.deferredReceiverRelease(recvText, spec.Release) {
+				continue
+			}
+			if blk := w.leakPath(b, idx, func(node ast.Node) pairUse {
+				return w.receiverUse(node, recvText, spec)
+			}); blk != nil {
+				out = append(out, w.pkg.finding("pairing", call.Pos(),
+					"%s.%s() is not paired with %s.%s() on the path reaching %s; release on every path or defer the release",
+					recvText, spec.Acquire, recvText, spec.Release, w.pathDesc(blk)))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receiverUse classifies what node does to the obligation opened by
+// recvText.Acquire().
+func (w *pairWalker) receiverUse(n ast.Node, recvText string, spec ReceiverPairSpec) pairUse {
+	use := useNone
+	inspectNode(n, func(x ast.Node) bool {
+		if use != useNone {
+			return false
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			// A closure that releases the lock (handed to a helper,
+			// run deferred, ...) discharges the local obligation.
+			if w.litReleases(x.(*ast.FuncLit), recvText, spec.Release) {
+				use = useRelease
+			}
+			return false
+		}
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if _, recv, name, ok := w.methodCall(call); ok && name == spec.Release && exprText(recv) == recvText {
+			use = useRelease
+			return false
+		}
+		return true
+	})
+	return use
+}
+
+func (w *pairWalker) litReleases(lit *ast.FuncLit, recvText string, release string) bool {
+	found := false
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, isCall := x.(*ast.CallExpr); isCall {
+			if _, recv, name, ok := w.methodCall(call); ok && name == release && exprText(recv) == recvText {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferredReceiverRelease reports whether any deferred call in the
+// function releases recvText (directly or inside a deferred closure).
+func (w *pairWalker) deferredReceiverRelease(recvText, release string) bool {
+	for _, d := range w.g.Defers {
+		if _, recv, name, ok := w.methodCall(d); ok && name == release && exprText(recv) == recvText {
+			return true
+		}
+		if lit, isLit := d.Fun.(*ast.FuncLit); isLit && w.litReleases(lit, recvText, release) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Engine 2: value pairing (trace regions, timers).
+
+// checkValueAcquires matches nodes that bind an acquire call's result to
+// a variable (or drop it) and verifies the release.
+func (w *pairWalker) checkValueAcquires(b *Block, idx int, n ast.Node) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, spec ValuePairSpec, format string, args ...any) {
+		out = append(out, w.pkg.finding("pairing", pos, format, args...))
+	}
+
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		call, isCall := rhs.(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		spec, ok := w.matchValueAcquire(call)
+		if !ok {
+			return
+		}
+		id, isID := lhs.(*ast.Ident)
+		if !isID {
+			return // stored straight into a field/slot: obligation escapes
+		}
+		if id.Name == "_" {
+			report(call.Pos(), spec, "%s from %s is discarded; it must be released with %s",
+				spec.Noun, exprText(call.Fun), releaseList(spec))
+			return
+		}
+		if w.deferredValueRelease(id.Name, spec.Release) {
+			return
+		}
+		if blk := w.leakPath(b, idx, func(node ast.Node) pairUse {
+			return w.valueUse(node, id.Name, spec)
+		}); blk != nil {
+			report(call.Pos(), spec,
+				"%s %q from %s is not released with %s on the path reaching %s",
+				spec.Noun, id.Name, exprText(call.Fun), releaseList(spec), w.pathDesc(blk))
+		}
+	}
+
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				bind(n.Lhs[i], n.Rhs[i])
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, isGen := n.Decl.(*ast.GenDecl); isGen {
+			for _, s := range gd.Specs {
+				if vs, isVal := s.(*ast.ValueSpec); isVal && len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						bind(vs.Names[i], vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, isCall := n.X.(*ast.CallExpr); isCall {
+			if spec, ok := w.matchValueAcquire(call); ok {
+				report(call.Pos(), spec, "%s from %s is discarded; it must be released with %s",
+					spec.Noun, exprText(call.Fun), releaseList(spec))
+			}
+		}
+	}
+	return out
+}
+
+func releaseList(spec ValuePairSpec) string { return strings.Join(spec.Release, "/") }
+
+// matchValueAcquire reports whether call opens a value obligation.
+func (w *pairWalker) matchValueAcquire(call *ast.CallExpr) (ValuePairSpec, bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return ValuePairSpec{}, false
+	}
+	for _, spec := range w.a.value {
+		// Package-level acquire: pkg.Func where pkg imports spec.PkgPath.
+		if spec.PkgPath != "" && spec.Func != "" && sel.Sel.Name == spec.Func {
+			if id, isID := sel.X.(*ast.Ident); isID {
+				if local, imports := importName(w.file, spec.PkgPath); imports && id.Name == local {
+					return spec, true
+				}
+			}
+		}
+		// Method acquire: name match plus result-type confirmation when
+		// the oracle resolved the call.
+		for _, m := range spec.Methods {
+			if sel.Sel.Name != m {
+				continue
+			}
+			if id, isID := sel.X.(*ast.Ident); isID && w.isImportName(id.Name) {
+				continue
+			}
+			if w.pt != nil {
+				if tv, resolved := w.pt.info.Types[ast.Expr(call)]; resolved && tv.Type != nil {
+					if name := namedOf(tv.Type); name != "" {
+						if name == spec.ResultType {
+							return spec, true
+						}
+						continue // resolved to something else: not ours
+					}
+				}
+			}
+			return spec, true
+		}
+	}
+	return ValuePairSpec{}, false
+}
+
+// valueUse classifies what node does with the bound variable.
+func (w *pairWalker) valueUse(n ast.Node, varName string, spec ValuePairSpec) pairUse {
+	use := useNone
+	merge := func(u pairUse) {
+		if u == useRelease || use == useNone {
+			use = u
+		}
+	}
+	isVar := func(e ast.Expr) bool {
+		id, isID := e.(*ast.Ident)
+		return isID && id.Name == varName
+	}
+	// An overwrite of the variable orphans the old obligation, but a
+	// rebind from the same acquire family (r = tracer.Start(...) in a
+	// loop) is treated as an escape of the old value to keep the check
+	// conservative.
+	if asg, isAsg := n.(*ast.AssignStmt); isAsg {
+		for _, l := range asg.Lhs {
+			if isVar(l) {
+				merge(useEscape)
+			}
+		}
+	}
+	inspectNode(n, func(x ast.Node) bool {
+		if use == useRelease {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// Captured by a closure: the closure may release it later.
+			captured := false
+			ast.Inspect(x.Body, func(y ast.Node) bool {
+				if id, isID := y.(*ast.Ident); isID && id.Name == varName {
+					captured = true
+					return false
+				}
+				return true
+			})
+			if captured {
+				merge(useEscape)
+			}
+			return false
+		case *ast.CallExpr:
+			if _, recv, name, ok := w.methodCall(x); ok && isVar(recv) {
+				for _, r := range spec.Release {
+					if name == r {
+						merge(useRelease)
+						return false
+					}
+				}
+				return true
+			}
+			// Passed as an argument: obligation transferred.
+			for _, arg := range x.Args {
+				if isVar(arg) {
+					merge(useEscape)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if isVar(r) {
+					merge(useEscape)
+				}
+			}
+		case *ast.SendStmt:
+			if isVar(x.Value) {
+				merge(useEscape)
+			}
+		case *ast.AssignStmt:
+			// v on the RHS of an assignment aliases it away.
+			for _, r := range x.Rhs {
+				if isVar(r) {
+					merge(useEscape)
+				}
+			}
+		case *ast.KeyValueExpr:
+			if isVar(x.Value) {
+				merge(useEscape)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && isVar(x.X) {
+				merge(useEscape)
+			}
+		}
+		return true
+	})
+	return use
+}
+
+// deferredValueRelease reports whether a deferred call releases varName.
+func (w *pairWalker) deferredValueRelease(varName string, release []string) bool {
+	releases := func(call *ast.CallExpr) bool {
+		_, recv, name, ok := w.methodCall(call)
+		if !ok {
+			return false
+		}
+		id, isID := recv.(*ast.Ident)
+		if !isID || id.Name != varName {
+			return false
+		}
+		for _, r := range release {
+			if name == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range w.g.Defers {
+		if releases(d) {
+			return true
+		}
+		if lit, isLit := d.Fun.(*ast.FuncLit); isLit {
+			found := false
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, isCall := x.(*ast.CallExpr); isCall && releases(call) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Shared path search.
+
+// pairUse is what one CFG node does with an open obligation.
+type pairUse int
+
+const (
+	useNone    pairUse = iota
+	useRelease         // obligation discharged
+	useEscape          // obligation transferred elsewhere; stop tracking
+)
+
+// leakPath searches every CFG path from just after Nodes[idx] of block b
+// for one that reaches the exit without classify returning a release or
+// escape. It returns a block on the leaking path (the exit's predecessor
+// where the path leaves the function) or nil when every path discharges
+// the obligation.
+func (w *pairWalker) leakPath(b *Block, idx int, classify func(ast.Node) pairUse) *Block {
+	// Scan the remainder of the defining block first.
+	for i := idx + 1; i < len(b.Nodes); i++ {
+		if classify(b.Nodes[i]) != useNone {
+			return nil
+		}
+	}
+	seen := map[*Block]bool{}
+	var walk func(blk *Block, from *Block) *Block
+	walk = func(blk *Block, from *Block) *Block {
+		if blk == w.g.Exit {
+			return from
+		}
+		if seen[blk] {
+			return nil
+		}
+		seen[blk] = true
+		for _, n := range blk.Nodes {
+			if classify(n) != useNone {
+				return nil
+			}
+		}
+		for _, s := range blk.Succs {
+			if leak := walk(s, blk); leak != nil {
+				return leak
+			}
+		}
+		return nil
+	}
+	if b == w.g.Exit {
+		return nil
+	}
+	for _, s := range b.Succs {
+		if leak := walk(s, b); leak != nil {
+			return leak
+		}
+	}
+	return nil
+}
+
+// pathDesc names where a leaking path leaves the function, for the
+// diagnostic.
+func (w *pairWalker) pathDesc(b *Block) string {
+	if b.Panics {
+		return "a panic exit (line " + w.lineOf(b) + ")"
+	}
+	return "the return at line " + w.lineOf(b)
+}
+
+func (w *pairWalker) lineOf(b *Block) string {
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		if pos := b.Nodes[i].Pos(); pos.IsValid() {
+			return strconv.Itoa(w.pkg.Fset.Position(pos).Line)
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+func TestPairingFixture(t *testing.T) {
+	checkFixture(t, "pairing", NewPairingAnalyzer(
+		[]ReceiverPairSpec{
+			{Acquire: "Lock", Release: "Unlock"},
+			{Acquire: "RLock", Release: "RUnlock"},
+		},
+		[]ValuePairSpec{
+			{
+				Methods:    []string{"Start", "StartAt"},
+				ResultType: "Region",
+				Release:    []string{"End", "EndAt"},
+				Noun:       "trace region",
+			},
+			{PkgPath: "time", Func: "NewTimer", Release: []string{"Stop"}, Noun: "timer"},
+			{PkgPath: "time", Func: "NewTicker", Release: []string{"Stop"}, Noun: "ticker"},
+		},
+	))
+}

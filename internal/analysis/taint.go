@@ -6,7 +6,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // AllowTaintMarker waives a taint finding on a line where the flow is
@@ -347,22 +346,11 @@ type taintWalker struct {
 }
 
 func (t *Taint) newWalker(pkg *Package, file *File) *taintWalker {
-	imports := make(map[string]string)
-	for _, spec := range file.AST.Imports {
-		path := strings.Trim(spec.Path.Value, `"`)
-		name := path[strings.LastIndex(path, "/")+1:]
-		if spec.Name != nil {
-			name = spec.Name.Name
-		}
-		if name != "_" && name != "." {
-			imports[name] = path
-		}
-	}
 	return &taintWalker{
 		t:        t,
 		pkg:      pkg,
 		pt:       t.oracle.typesOf(pkg),
-		imports:  imports,
+		imports:  importMap(file.AST),
 		state:    make(map[any]taintVal),
 		reported: make(map[token.Pos]bool),
 	}
@@ -513,17 +501,7 @@ func (w *taintWalker) taint(key any, v taintVal) {
 	}
 }
 
-func (w *taintWalker) identKey(id *ast.Ident) any {
-	if w.pt != nil {
-		if obj := w.pt.info.Defs[id]; obj != nil {
-			return obj
-		}
-		if obj := w.pt.info.Uses[id]; obj != nil {
-			return obj
-		}
-	}
-	return "ident:" + id.Name
-}
+func (w *taintWalker) identKey(id *ast.Ident) any { return identObj(w.pt, id) }
 
 // val computes the taint of an expression, reporting sink hits when
 // recording.
@@ -741,18 +719,25 @@ func builtinName(w *taintWalker, fun ast.Expr) (string, bool) {
 // resolve identifies the callee and, for method calls, returns the
 // receiver expression (so its taint participates as argument 0).
 func (w *taintWalker) resolve(call *ast.CallExpr) (callee, ast.Expr) {
+	return resolveCall(w.pt, w.imports, w.pkg.ImportPath, call)
+}
+
+// resolveCall identifies a call's callee using the type oracle with
+// syntactic import-name fallbacks, shared by the taint and cryptomisuse
+// engines. For method calls the receiver expression is returned too.
+func resolveCall(pt *pkgTypes, imports map[string]string, selfPkg string, call *ast.CallExpr) (callee, ast.Expr) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		if w.pt != nil {
-			if fn, ok := w.pt.info.Uses[fun].(*types.Func); ok && fn.Pkg() != nil {
+		if pt != nil {
+			if fn, ok := pt.info.Uses[fun].(*types.Func); ok && fn.Pkg() != nil {
 				return callee{pkg: fn.Pkg().Path(), name: fun.Name}, nil
 			}
 		}
 		// Unresolved plain call: assume same-package.
-		return callee{pkg: w.pkg.ImportPath, name: fun.Name}, nil
+		return callee{pkg: selfPkg, name: fun.Name}, nil
 	case *ast.SelectorExpr:
-		if w.pt != nil {
-			if sel, ok := w.pt.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+		if pt != nil {
+			if sel, ok := pt.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
 				obj := sel.Obj()
 				pkgPath := ""
 				if obj.Pkg() != nil {
@@ -761,13 +746,13 @@ func (w *taintWalker) resolve(call *ast.CallExpr) (callee, ast.Expr) {
 				return callee{pkg: pkgPath, recv: namedOf(sel.Recv()), name: fun.Sel.Name}, fun.X
 			}
 			if id, ok := fun.X.(*ast.Ident); ok {
-				if pn, ok := w.pt.info.Uses[id].(*types.PkgName); ok {
+				if pn, ok := pt.info.Uses[id].(*types.PkgName); ok {
 					return callee{pkg: pn.Imported().Path(), name: fun.Sel.Name}, nil
 				}
 			}
 		}
 		if id, ok := fun.X.(*ast.Ident); ok {
-			if path, ok := w.imports[id.Name]; ok && !w.isLocal(id) {
+			if path, ok := imports[id.Name]; ok && !isLocalIdent(pt, id) {
 				return callee{pkg: path, name: fun.Sel.Name}, nil
 			}
 		}
@@ -775,18 +760,18 @@ func (w *taintWalker) resolve(call *ast.CallExpr) (callee, ast.Expr) {
 	case *ast.ParenExpr:
 		inner := *call
 		inner.Fun = fun.X
-		return w.resolve(&inner)
+		return resolveCall(pt, imports, selfPkg, &inner)
 	}
 	return callee{}, nil
 }
 
-// isLocal reports whether id resolves to a local object (shadowing an
-// import name).
-func (w *taintWalker) isLocal(id *ast.Ident) bool {
-	if w.pt == nil {
+// isLocalIdent reports whether id resolves to a local object (shadowing
+// an import name).
+func isLocalIdent(pt *pkgTypes, id *ast.Ident) bool {
+	if pt == nil {
 		return false
 	}
-	obj := w.pt.info.Uses[id]
+	obj := pt.info.Uses[id]
 	if obj == nil {
 		return false
 	}

@@ -1,0 +1,154 @@
+// Package cfgfix exercises every control-flow shape the CFG builder
+// lowers; cfg_test.go pins the resulting graphs as golden dumps.
+package cfgfix
+
+import (
+	"errors"
+	"os"
+)
+
+func straight(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(x int) int {
+	if x > 0 {
+		return 1
+	} else if x < 0 {
+		return -1
+	}
+	return 0
+}
+
+func ifInit(m map[string]int) int {
+	if v, ok := m["k"]; ok {
+		return v
+	}
+	return 0
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		s += i
+	}
+	return s
+}
+
+func forever(ch chan int) {
+	for {
+		v := <-ch
+		if v == 0 {
+			break
+		}
+	}
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func labeled(grid [][]int) int {
+outer:
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] < 0 {
+				break outer
+			}
+			if j == 0 {
+				continue outer
+			}
+		}
+	}
+	return 0
+}
+
+func switches(x int) string {
+	switch {
+	case x > 10:
+		return "big"
+	case x > 0:
+		fallthrough
+	case x == 0:
+		return "small"
+	}
+	switch y := x * 2; y {
+	case 4:
+		return "four"
+	default:
+		return "other"
+	}
+}
+
+func typeSwitch(v any) int {
+	switch t := v.(type) {
+	case int:
+		return t
+	case string:
+		return len(t)
+	}
+	return 0
+}
+
+func selects(a, b chan int, done chan struct{}) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+	case <-done:
+		return -1
+	}
+	return 0
+}
+
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err != nil || fi.Size() == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func panics(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	if x == 0 {
+		os.Exit(2)
+	}
+	return x
+}
+
+func gotos(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}
+
+func closures(xs []int) func() int {
+	total := 0
+	fn := func() int {
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+	return fn
+}

@@ -1,0 +1,18 @@
+// Package vault is the fixture's crypto consumer: NewCipher takes key
+// material, Box.Seal takes an AEAD-style nonce.
+package vault
+
+// Cipher is an opaque keyed primitive.
+type Cipher struct{ key []byte }
+
+// NewCipher builds a cipher from key material.
+func NewCipher(key []byte) *Cipher { return &Cipher{key: key} }
+
+// Box seals messages.
+type Box struct{ c *Cipher }
+
+// Seal encrypts plaintext with the given nonce and additional data.
+func (b *Box) Seal(dst, nonce, plaintext, additional []byte) []byte {
+	out := append(dst, plaintext...)
+	return out
+}

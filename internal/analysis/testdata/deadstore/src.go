@@ -1,0 +1,85 @@
+// Package deadstorefix exercises the deadstore rule: complete writes to
+// locals that no path can ever read.
+package deadstorefix
+
+var global int
+
+func use(...any) {}
+
+func compute() int { return 42 }
+
+func overwrittenImmediately() {
+	x := 1 // want "value assigned to x is never read on any path"
+	x = 2
+	use(x)
+}
+
+func overwrittenOnAllBranches(c bool) {
+	x := compute() // want "value assigned to x is never read on any path"
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	use(x)
+}
+
+func storeBeforeReturn() int {
+	x := compute()
+	out := x * 2
+	x = 0 // want "value assigned to x is never read on any path"
+	return out
+}
+
+func okReadOnOneBranch(c bool) {
+	x := compute()
+	if c {
+		x = 1
+	}
+	use(x)
+}
+
+func okLoopCarried(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum = sum + i
+	}
+	return sum
+}
+
+func okNamedResult() (n int) {
+	n = compute()
+	return
+}
+
+func okDeferReads() {
+	x := compute()
+	defer func() { use(x) }()
+	x = compute()
+}
+
+func okGlobalStore() {
+	global = compute()
+}
+
+func okCapturedStore() func() {
+	x := 0
+	f := func() { x = compute() }
+	use(x)
+	return f
+}
+
+func okZeroDecl(c bool) {
+	var x int
+	if c {
+		x = 1
+	}
+	use(x)
+}
+
+// okCompound: += reads the old value; the rule skips compound writes.
+func okCompound() int {
+	x := 1
+	x += 2
+	return x
+}

@@ -1,0 +1,16 @@
+// Package trace is a minimal stand-in for the obs tracer: Start opens a
+// Region that the pairing rule requires to be ended on every path. The
+// fixture type oracle resolves it, exercising the ResultType match.
+package trace
+
+// Tracer hands out regions.
+type Tracer struct{}
+
+// Region is an open interval obligation.
+type Region struct{ op string }
+
+// Start opens a region.
+func (t *Tracer) Start(layer, op string) *Region { return &Region{op: op} }
+
+// End closes a region.
+func (r *Region) End(cause string) {}

@@ -1,0 +1,83 @@
+// Package unreachablefix exercises the unreachable rule: statements no
+// path from the function entry reaches.
+package unreachablefix
+
+import "os"
+
+func work() {}
+
+func cond() bool { return false }
+
+func afterReturn() int {
+	return 1
+	work() // want "unreachable code"
+}
+
+func afterPanic() {
+	panic("boom")
+	work() // want "unreachable code"
+}
+
+func afterExit() {
+	os.Exit(2)
+	work() // want "unreachable code"
+}
+
+func afterBothBranchesReturn(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+	work() // want "unreachable code"
+	return 3
+}
+
+func deadLoop() int {
+	return 1
+	for {
+		work() // want "unreachable code"
+	}
+}
+
+func afterGoto() {
+	goto done
+	work() // want "unreachable code"
+done:
+	work()
+}
+
+// oneFindingPerRegion: consecutive dead statements report once, at the
+// region entry.
+func oneFindingPerRegion() int {
+	return 1
+	work() // want "unreachable code"
+	work()
+	work()
+	return 2
+}
+
+func okBranches(c bool) int {
+	if c {
+		return 1
+	}
+	work()
+	return 2
+}
+
+func okInfiniteLoopThenCode() {
+	for {
+		if cond() {
+			break
+		}
+	}
+	work()
+}
+
+func okDeferAfterReturnPath(c bool) {
+	defer work()
+	if c {
+		return
+	}
+	work()
+}

@@ -184,6 +184,63 @@ var XLFSecretLeak = TaintRule{
 	},
 }
 
+// XLFReceiverPairs are the receiver-paired acquire/release obligations
+// the pairing rule enforces on every path: mutex critical sections must
+// close before the function exits (including explicit panic exits).
+// The mutex pairs are lockcheck's balance contract, delegated here.
+var XLFReceiverPairs = LockBalancePairs
+
+// XLFValuePairs are the value-bound obligations: an obs trace Region
+// must be ended (or handed off) on every path, and timers/tickers must
+// be stopped so simulated runs don't leak goroutine-backed resources.
+var XLFValuePairs = []ValuePairSpec{
+	{
+		Methods:    []string{"Start", "StartAt"},
+		ResultType: "Region",
+		Release:    []string{"End", "EndAt"},
+		Noun:       "trace region",
+	},
+	{PkgPath: "time", Func: "NewTimer", Release: []string{"Stop"}, Noun: "timer"},
+	{PkgPath: "time", Func: "NewTicker", Release: []string{"Stop"}, Noun: "ticker"},
+}
+
+// XLFCryptoConfig is the crypto-consumer table the cryptomisuse rule
+// enforces. Lightweight ciphers (PRESENT, TEA, ...) take 64/80-bit keys
+// by design, so their minimum is 8 bytes; the channel/xauth entry points
+// carry the paper's 128-bit floor. The simulation's fixed demo keys are
+// waived in the baseline with justifications.
+var XLFCryptoConfig = CryptoConfig{
+	Keys: []CryptoKeyCall{
+		{Pkg: "xlf/internal/lwc", Name: "NewDES", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Name: "NewDESL", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Name: "NewTripleDES", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewHIGHT", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewHummingbird", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewHummingbird2", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewIceberg", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Name: "NewLEA", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewPRESENT", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Name: "NewPride", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Name: "NewRC5", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Name: "NewSEED", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewTEA", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewXTEA", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/lwc", Name: "NewTWINE", KeyArg: 0, MinKeyLen: 8},
+		{Pkg: "xlf/internal/lwc", Recv: "Registry", Name: "New", KeyArg: 1, MinKeyLen: 8},
+		{Pkg: "xlf/internal/channel", Name: "New", KeyArg: 1, MinKeyLen: 16},
+		{Pkg: "xlf/internal/xauth", Name: "NewAuthority", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/xauth", Name: "NewSigner", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/xauth", Name: "NewCA", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "xlf/internal/dpi", Name: "NewTokenizer", KeyArg: 0, MinKeyLen: 16},
+		{Pkg: "crypto/hmac", Name: "New", KeyArg: 1, MinKeyLen: 16},
+	},
+	Nonces: []CryptoNonceCall{
+		// AEAD-shaped Seal(dst, nonce, plaintext, additional).
+		{Name: "Seal", NArgs: 4, NonceArg: 1},
+	},
+	RandPkgs: []string{"math/rand", "math/rand/v2"},
+}
+
 // XLFAnalyzers returns the full rule set configured for this repository.
 func XLFAnalyzers() []Analyzer {
 	out := []Analyzer{
@@ -191,6 +248,10 @@ func XLFAnalyzers() []Analyzer {
 		NewDeterminism(XLFDeterministicPackages),
 		NewLockCheck(),
 		NewErrDrop(XLFSecurityPackages),
+		NewPairingAnalyzer(XLFReceiverPairs, XLFValuePairs),
+		NewCryptoMisuse(XLFCryptoConfig),
+		NewDeadStore(),
+		NewUnreachable(),
 	}
 	return append(out, NewTaintSuite(XLFPlaintextEscape, XLFSecretLeak)...)
 }

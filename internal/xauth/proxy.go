@@ -119,17 +119,15 @@ func (p *Proxy) Evict(user string) {
 //   - Write operations require Advanced privilege with MFA regardless of
 //     origin.
 func (p *Proxy) Handle(req AccessRequest, now time.Duration) Decision {
+	reg := p.Tracer.StartAt(now, obs.LayerXAuth, "access", req.DeviceID)
+	reg.SetDetail(req.User)
 	d := p.handle(req, now)
-	if p.Tracer != nil {
-		op, cause := "access", d.AuthenticatedBy
-		if !d.Allowed {
-			op, cause = "access-deny", d.Reason
-		}
-		p.Tracer.EmitSpan(obs.Span{
-			Time: now, Dur: d.Latency, Layer: obs.LayerXAuth,
-			Op: op, Device: req.DeviceID, Cause: cause, Detail: req.User,
-		})
+	cause := d.AuthenticatedBy
+	if !d.Allowed {
+		reg.SetOp("access-deny")
+		cause = d.Reason
 	}
+	reg.EndAt(now+d.Latency, cause)
 	return d
 }
 

@@ -30,9 +30,24 @@ go test -run='^$' -fuzz='^FuzzOpen$' -fuzztime=5s ./internal/channel
 go test -run='^$' -fuzz='^FuzzCodecOpen$' -fuzztime=5s ./internal/dnsp
 go test -run='^$' -fuzz='^FuzzSealOpenRoundTrip$' -fuzztime=5s ./internal/dnsp
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
+go test -run='^$' -fuzz='^FuzzCFGBuild$' -fuzztime=5s ./internal/analysis
 
-echo '>> xlf-vet ./...'
-go run ./cmd/xlf-vet ./...
+echo '>> xlf-vet ./... (self-gate, baselined)'
+go run ./cmd/xlf-vet -baseline vet-baseline.json ./...
+
+# Driver determinism: the SARIF report must be byte-identical at
+# -parallel 1 and -parallel 8, with a cold and then a warm result cache,
+# with the worker pool running under the race detector.
+echo '>> xlf-vet determinism (parallel 8 vs sequential, cold/warm cache, race detector)'
+vetdir=$(mktemp -d)
+trap 'rm -rf "$vetdir"' EXIT
+go run -race ./cmd/xlf-vet -sarif -parallel 1 ./... >"$vetdir/serial.sarif" || true
+go run -race ./cmd/xlf-vet -sarif -parallel 8 ./... >"$vetdir/parallel.sarif" || true
+go run -race ./cmd/xlf-vet -sarif -parallel 8 -cache-dir "$vetdir/cache" ./... >"$vetdir/cold.sarif" || true
+go run -race ./cmd/xlf-vet -sarif -parallel 8 -cache-dir "$vetdir/cache" ./... >"$vetdir/warm.sarif" || true
+cmp "$vetdir/serial.sarif" "$vetdir/parallel.sarif"
+cmp "$vetdir/serial.sarif" "$vetdir/cold.sarif"
+cmp "$vetdir/serial.sarif" "$vetdir/warm.sarif"
 
 # Scheduler determinism: the full report rendered at -parallel 8 must be
 # byte-identical to the sequential run under the step clock, with the
