@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-fix fmt check report bench
+.PHONY: build test race vet vet-fix vet-concurrency fmt check report bench
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ vet:
 vet-fix:
 	$(GO) run ./cmd/xlf-vet -baseline vet-baseline.json -fix ./... || true
 	git diff --exit-code
+
+# vet-concurrency runs just the concurrency-safety layer — the
+# lock-order graph, goroutine-leak, atomic-mix and //xlf:hotpath
+# allocation rules — for quick iteration on locking or hot-path code.
+vet-concurrency:
+	$(GO) run ./cmd/xlf-vet -only lockorder,goroleak,atomicmix,hotpathalloc -baseline vet-baseline.json ./...
 
 fmt:
 	gofmt -w .

@@ -18,12 +18,17 @@
 //	xlf-bench -exp E1 -clock step \
 //	          -trace out.jsonl          # cross-layer span trace (xlf-trace/v1);
 //	                                    # render with cmd/xlf-trace
+//	xlf-bench -exp E1 -cpuprofile cpu.pprof \
+//	          -memprofile mem.pprof     # pprof profiles of the run
+//	                                    # (go tool pprof cpu.pprof)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"xlf/internal/exp"
@@ -47,6 +52,8 @@ func run(args []string) int {
 		jsonDir  = fs.String("json", "", "directory to write BENCH_<id>.json artifacts into")
 		clock    = fs.String("clock", exp.ClockWall, "timing source: wall (measured throughput) or step (deterministic output)")
 		traceOut = fs.String("trace", "", "file to write the xlf-trace/v1 span timeline into")
+		cpuProf  = fs.String("cpuprofile", "", "file to write a CPU profile of the experiment run into")
+		memProf  = fs.String("memprofile", "", "file to write an end-of-run heap profile into")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,9 +117,34 @@ func run(args []string) int {
 		env.EnableTracing(0)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "xlf-bench: wrote CPU profile to %s\n", *cpuProf)
+		}()
+	}
+
 	sched := &exp.Scheduler{Parallel: *parallel}
 	results := sched.Run(env, selection)
 	fmt.Print(exp.Render(results))
+
+	if *memProf != "" {
+		if err := writeMemProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
+			return 1
+		}
+	}
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, env, *seed, *clock, selection); err != nil {
@@ -131,6 +163,26 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "xlf-bench: wrote %d artifacts to %s\n", len(paths), *jsonDir)
 	}
 	return 0
+}
+
+// writeMemProfile snapshots the live heap after the experiments finish.
+// The GC run first makes the profile reflect retained memory, not
+// garbage awaiting collection.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if werr := pprof.WriteHeapProfile(f); werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xlf-bench: wrote heap profile to %s\n", path)
+	return nil
 }
 
 // writeTrace serializes the run's span tree as an xlf-trace/v1 artifact.

@@ -4,11 +4,17 @@
 // path-sensitive CFG rules — cryptomisuse (hardcoded/short/math-rand
 // keys, constant or reused nonces, non-constant-time MAC compares),
 // pairing (locks, trace regions and timers released on every path),
-// deadstore and unreachable — and the two taint dataflow rules,
+// deadstore and unreachable — the two taint dataflow rules,
 // plaintextescape (device payloads must be sealed before reaching a
 // network send) and secretleak (token/key material must not flow into
-// logs, errors, or metrics labels). See internal/analysis for the rules
-// and DESIGN.md for the architecture table they enforce.
+// logs, errors, or metrics labels) — and the concurrency-safety layer:
+// lockorder (an interprocedural lock-acquisition graph whose cycles are
+// potential deadlocks), goroleak (goroutines with no shutdown path,
+// unbuffered sends no path receives, WaitGroup.Add racing Wait),
+// atomicmix (fields accessed both atomically and plainly; sync values
+// copied by value) and hotpathalloc (functions annotated //xlf:hotpath
+// must not allocate). See internal/analysis for the rules and DESIGN.md
+// for the architecture table they enforce.
 //
 // Usage:
 //
@@ -17,6 +23,7 @@
 //	xlf-vet -json ./...                # machine-readable findings
 //	xlf-vet -sarif ./...               # SARIF 2.1.0 (code-scanning upload)
 //	xlf-vet -disable lockcheck ./...   # drop rules for one run
+//	xlf-vet -only lockorder,goroleak ./...  # run only the named rules
 //	xlf-vet -baseline vet.json ./...   # report only findings not in the baseline
 //	xlf-vet -baseline vet.json -write-baseline ./...  # freeze current findings
 //	xlf-vet -parallel 8 ./...          # per-package worker pool
@@ -54,7 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
 		sarifOut  = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
-		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak)")
+		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak,lockorder,goroleak,atomicmix,hotpathalloc)")
+		only      = fs.String("only", "", "comma-separated rules to run, dropping all others (same names as -disable)")
 		root      = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 		baseline  = fs.String("baseline", "", "baseline file: suppress the findings recorded in it")
 		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit clean")
@@ -89,7 +97,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	analyzers, err := selectAnalyzers(*disable)
+	if *only != "" && *disable != "" {
+		fmt.Fprintln(stderr, "xlf-vet: -only and -disable are mutually exclusive")
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*disable, *only)
 	if err != nil {
 		fmt.Fprintln(stderr, "xlf-vet:", err)
 		return 2
@@ -270,14 +282,34 @@ func findModuleRoot() (string, error) {
 	}
 }
 
-// selectAnalyzers returns the configured rule set minus the disabled ones.
-func selectAnalyzers(disable string) ([]analysis.Analyzer, error) {
-	disabled := make(map[string]bool)
-	for _, name := range strings.Split(disable, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			disabled[name] = true
+// selectAnalyzers returns the configured rule set minus the disabled
+// ones, or — when only is non-empty — just the named rules, in their
+// canonical XLFAnalyzers order.
+func selectAnalyzers(disable, only string) ([]analysis.Analyzer, error) {
+	ruleSet := func(csv string) map[string]bool {
+		set := make(map[string]bool)
+		for _, name := range strings.Split(csv, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				set[name] = true
+			}
 		}
+		return set
 	}
+	if only != "" {
+		wanted := ruleSet(only)
+		var out []analysis.Analyzer
+		for _, a := range analysis.XLFAnalyzers() {
+			if wanted[a.Name()] {
+				delete(wanted, a.Name())
+				out = append(out, a)
+			}
+		}
+		for name := range wanted {
+			return nil, fmt.Errorf("unknown rule %q in -only", name)
+		}
+		return out, nil
+	}
+	disabled := ruleSet(disable)
 	var out []analysis.Analyzer
 	for _, a := range analysis.XLFAnalyzers() {
 		if disabled[a.Name()] {

@@ -376,8 +376,8 @@ func TestSARIFGolden(t *testing.T) {
 		t.Fatalf("want one run from driver xlf-vet, got %+v", log.Runs)
 	}
 	rules := log.Runs[0].Tool.Driver.Rules
-	if len(rules) != 10 {
-		t.Errorf("rules array has %d entries, want all 10 configured rules", len(rules))
+	if len(rules) != 14 {
+		t.Errorf("rules array has %d entries, want all 14 configured rules", len(rules))
 	}
 	for _, r := range log.Runs[0].Results {
 		if r.Level != "error" {

@@ -29,6 +29,7 @@ type Finding struct {
 	Pos     token.Position `json:"-"`
 	File    string         `json:"file"`
 	Line    int            `json:"line"`
+	Col     int            `json:"col,omitempty"`
 	Rule    string         `json:"rule"`
 	Message string         `json:"message"`
 	// Fix, when non-nil, is a mechanical edit that resolves the finding;
@@ -107,6 +108,7 @@ func (p *Package) finding(rule string, pos token.Pos, format string, args ...any
 		Pos:     position,
 		File:    position.Filename,
 		Line:    position.Line,
+		Col:     position.Column,
 		Rule:    rule,
 		Message: fmt.Sprintf(format, args...),
 	}
@@ -170,8 +172,9 @@ func RunPackage(pkg *Package, analyzers []Analyzer) []Finding {
 	return out
 }
 
-// SortFindings orders findings by file, line, rule and message — a
-// total order, so concurrent runs always print identically.
+// SortFindings orders findings by file, line, column, rule and message —
+// a total order, so concurrent runs always print identically even when
+// several rule families fire on the same line.
 func SortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -179,6 +182,9 @@ func SortFindings(out []Finding) {
 		}
 		if out[i].Line != out[j].Line {
 			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
 		}
 		if out[i].Rule != out[j].Rule {
 			return out[i].Rule < out[j].Rule

@@ -1,0 +1,418 @@
+package analysis
+
+// The atomic/plain mixing rule: a field (or package-level variable) that
+// one function updates through sync/atomic and another touches with a
+// plain read or write has no consistent synchronisation story — the
+// plain access races with every atomic one, and the race detector only
+// notices when the schedule cooperates. The rule records every variable
+// reached by an &x-style sync/atomic call argument during Prepare, then
+// reports each plain access to the same object anywhere in the module.
+//
+// The analyzer also owns the by-value copy half of the WaitGroup
+// contract, mirroring lockcheck's Mutex treatment: passing, returning or
+// receiving a sync.WaitGroup (or a struct holding one) by value forks
+// the counter, and an assignment that copies a WaitGroup- or lock-holder
+// value does the same silently. Deliberate exceptions are waived with
+// //xlf:allow-atomicmix.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllowAtomicMixMarker waives an atomicmix finding on its line (or the
+// whole function when placed in the doc comment).
+const AllowAtomicMixMarker = "xlf:allow-atomicmix"
+
+// atomicSite records where a variable was first seen under sync/atomic.
+type atomicSite struct {
+	fn  string
+	loc string // "importPath/file.go:line", stable across checkouts
+}
+
+// AtomicMix detects mixed atomic/plain access and WaitGroup copies.
+type AtomicMix struct {
+	oracle   *typeOracle
+	prepared bool
+
+	// atomicUses maps a types.Object (field or package-level var) to the
+	// first function that accessed it via sync/atomic.
+	atomicUses map[types.Object]atomicSite
+	// atomicArgs marks the identifiers appearing inside sync/atomic call
+	// arguments, so the atomic accesses themselves are not re-reported as
+	// plain ones.
+	atomicArgs map[*ast.Ident]bool
+}
+
+// NewAtomicMix builds the analyzer.
+func NewAtomicMix() *AtomicMix {
+	return &AtomicMix{oracle: newTypeOracle()}
+}
+
+// Name implements Analyzer.
+func (a *AtomicMix) Name() string { return "atomicmix" }
+
+// Doc implements Documented.
+func (a *AtomicMix) Doc() string {
+	return "no mixed sync/atomic and plain access to one variable; no WaitGroup/lock-holder copies"
+}
+
+// atomicFuncPrefixes match the sync/atomic package-level operations that
+// take the address of the guarded variable as their first argument.
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicOp(name string) bool {
+	for _, p := range atomicFuncPrefixes {
+		if len(name) > len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepare implements ModuleAnalyzer: one module-wide pass collects every
+// variable accessed through sync/atomic so Check can spot plain accesses
+// in any package.
+func (a *AtomicMix) Prepare(pkgs []*Package) {
+	if a.prepared {
+		return
+	}
+	a.prepared = true
+	a.oracle.check(pkgs)
+	a.atomicUses = make(map[types.Object]atomicSite)
+	a.atomicArgs = make(map[*ast.Ident]bool)
+	for _, pkg := range pkgs {
+		pt := a.oracle.typesOf(pkg)
+		if pt == nil {
+			continue
+		}
+		for fi := range pkg.Files {
+			file := &pkg.Files[fi]
+			imports := importMap(file.AST)
+			for _, decl := range file.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					c, _ := resolveCall(pt, imports, pkg.ImportPath, call)
+					if c.pkg != "sync/atomic" || c.recv != "" || !isAtomicOp(c.name) {
+						return true
+					}
+					obj := addrTarget(pt, call.Args[0])
+					if obj == nil {
+						return true
+					}
+					// Mark every identifier inside the argument so the
+					// reporting pass skips the atomic access itself.
+					ast.Inspect(call.Args[0], func(x ast.Node) bool {
+						if id, ok := x.(*ast.Ident); ok {
+							a.atomicArgs[id] = true
+						}
+						return true
+					})
+					if _, seen := a.atomicUses[obj]; !seen {
+						pos := pkg.Fset.Position(call.Pos())
+						a.atomicUses[obj] = atomicSite{
+							fn:  fd.Name.Name,
+							loc: sourceLoc(pkg, file, pos.Line),
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// addrTarget resolves &x or &x.f (the first argument of a sync/atomic
+// call) to the variable object it guards.
+func addrTarget(pt *pkgTypes, arg ast.Expr) types.Object {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch x := un.X.(type) {
+	case *ast.Ident:
+		return pt.info.Uses[x]
+	case *ast.SelectorExpr:
+		return pt.info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// sourceLoc renders a checkout-independent location for cross-references
+// inside messages: the package import path plus the file base name.
+func sourceLoc(pkg *Package, file *File, line int) string {
+	name := file.Name
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			name = name[i+1:]
+			break
+		}
+	}
+	return fmt.Sprintf("%s/%s:%d", pkg.ImportPath, name, line)
+}
+
+// Check implements Analyzer.
+func (a *AtomicMix) Check(pkg *Package) []Finding {
+	if !a.prepared {
+		a.Prepare([]*Package{pkg})
+	}
+	pt := a.oracle.typesOf(pkg)
+	var out []Finding
+	for fi := range pkg.Files {
+		file := &pkg.Files[fi]
+		allowed := allowedLines(pkg.Fset, file.AST, AllowAtomicMixMarker)
+		report := func(pos token.Pos, format string, args ...any) {
+			if !allowed[pkg.Fset.Position(pos).Line] {
+				out = append(out, pkg.finding(a.Name(), pos, format, args...))
+			}
+		}
+		if pt != nil {
+			a.checkPlainAccess(pkg, file, pt, report)
+		}
+		a.checkValueCopies(pkg, file, pt, report)
+	}
+	return out
+}
+
+// checkPlainAccess reports plain reads/writes of variables the module
+// elsewhere accesses through sync/atomic.
+func (a *AtomicMix) checkPlainAccess(pkg *Package, file *File, pt *pkgTypes, report func(token.Pos, string, ...any)) {
+	for _, decl := range file.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			// Composite-literal keys name the field, they do not access it.
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if _, isIdent := kv.Key.(*ast.Ident); isIdent {
+					ast.Inspect(kv.Value, func(x ast.Node) bool {
+						a.plainIdent(pkg, fd, x, pt, report)
+						return true
+					})
+					return false
+				}
+			}
+			a.plainIdent(pkg, fd, n, pt, report)
+			return true
+		})
+	}
+}
+
+func (a *AtomicMix) plainIdent(pkg *Package, fd *ast.FuncDecl, n ast.Node, pt *pkgTypes, report func(token.Pos, string, ...any)) {
+	id, ok := n.(*ast.Ident)
+	if !ok || a.atomicArgs[id] {
+		return
+	}
+	obj := pt.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	site, guarded := a.atomicUses[obj]
+	if !guarded {
+		return
+	}
+	report(id.Pos(),
+		"%s is accessed with sync/atomic in %s (%s) but plainly here in %s; every access must go through sync/atomic (or an atomic.Uint64-style wrapper)",
+		id.Name, site.fn, site.loc, fd.Name.Name)
+}
+
+// checkValueCopies flags WaitGroup-by-value signatures and assignments
+// that copy a WaitGroup or lock holder.
+func (a *AtomicMix) checkValueCopies(pkg *Package, file *File, pt *pkgTypes, report func(token.Pos, string, ...any)) {
+	wgHolders := syncValueHolders(pkg, "WaitGroup")
+	mtxHolders := lockHolders(pkg)
+	syncName, hasSync := importName(file.AST, "sync")
+
+	isWaitGroupExpr := func(expr ast.Expr) bool {
+		if hasSync {
+			if sel, ok := expr.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == syncName && sel.Sel.Name == "WaitGroup" {
+					return true
+				}
+			}
+		}
+		if id, ok := expr.(*ast.Ident); ok {
+			return wgHolders[id.Name]
+		}
+		return false
+	}
+
+	for _, decl := range file.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil {
+			for _, f := range fd.Recv.List {
+				if isWaitGroupExpr(f.Type) {
+					report(f.Type.Pos(),
+						"method %s has a value receiver holding a sync.WaitGroup; the copy's counter diverges — use a pointer receiver", name)
+				}
+			}
+		}
+		checkList := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				if isWaitGroupExpr(f.Type) {
+					report(f.Type.Pos(),
+						"%s of %s copies a sync.WaitGroup by value; Wait on the copy never sees Add on the original — pass a pointer", what, name)
+				}
+			}
+		}
+		checkList(fd.Type.Params, "parameter")
+		checkList(fd.Type.Results, "result")
+
+		if fd.Body == nil {
+			continue
+		}
+		// Assignment copies: x := y (or x = y) where y is a plain
+		// variable/field/deref of a WaitGroup, sync lock or holder type.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != len(asg.Rhs) {
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				// A blank-identifier discard copies nothing anyone reads.
+				if lhs, ok := asg.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+					continue
+				}
+				if !copyableRef(rhs) {
+					continue
+				}
+				desc := copiedSyncValue(pt, rhs, wgHolders, mtxHolders)
+				if desc == "" {
+					continue
+				}
+				report(asg.Rhs[i].Pos(),
+					"assignment copies %s by value; the copy synchronises nothing — take a pointer", desc)
+			}
+			return true
+		})
+	}
+}
+
+// copyableRef reports whether the expression reads an existing value
+// (identifier, field, deref, index) rather than constructing a new one.
+func copyableRef(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copyableRef(e.X)
+	}
+	return false
+}
+
+// copiedSyncValue classifies the type of a copied expression: a
+// sync.WaitGroup, a sync lock, or a holder struct of either. Returns a
+// description for the diagnostic, or "".
+func copiedSyncValue(pt *pkgTypes, e ast.Expr, wgHolders, mtxHolders map[string]bool) string {
+	if pt == nil {
+		return ""
+	}
+	tv, ok := pt.info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+		switch obj.Name() {
+		case "WaitGroup":
+			return "a sync.WaitGroup"
+		case "Mutex", "RWMutex":
+			return "a sync." + obj.Name()
+		}
+		return ""
+	}
+	if wgHolders[obj.Name()] {
+		return "struct " + obj.Name() + " (holds a sync.WaitGroup)"
+	}
+	if mtxHolders[obj.Name()] {
+		return "struct " + obj.Name() + " (holds a sync lock)"
+	}
+	return ""
+}
+
+// syncValueHolders resolves struct type names holding a value field of
+// sync.<typeName> (or of another holder), to a fixpoint — the WaitGroup
+// analogue of lockcheck's lockHolders.
+func syncValueHolders(pkg *Package, typeName string) map[string]bool {
+	type structDecl struct {
+		name     string
+		fields   *ast.FieldList
+		syncName string
+	}
+	var structs []structDecl
+	for _, f := range pkg.Files {
+		syncName, hasSync := importName(f.AST, "sync")
+		if !hasSync {
+			syncName = "sync"
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			structs = append(structs, structDecl{ts.Name.Name, st.Fields, syncName})
+			return true
+		})
+	}
+	isTarget := func(expr ast.Expr, syncName string) bool {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		return ok && recv.Name == syncName && sel.Sel.Name == typeName
+	}
+	holders := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, s := range structs {
+			if holders[s.name] || s.fields == nil {
+				continue
+			}
+			for _, field := range s.fields.List {
+				if isTarget(field.Type, s.syncName) {
+					holders[s.name] = true
+					changed = true
+					break
+				}
+				if id, ok := field.Type.(*ast.Ident); ok && holders[id.Name] {
+					holders[s.name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return holders
+}
+
+var _ ModuleAnalyzer = (*AtomicMix)(nil)

@@ -1,0 +1,324 @@
+package analysis
+
+// The //xlf:hotpath annotation contract (DESIGN.md §10): a function whose
+// doc comment carries the directive declares itself allocation-free, and
+// this rule enforces the declaration with a conservative syntactic lint.
+// The per-event and per-packet paths of the simulation kernel and the
+// network core — and the disabled-tracer/counter paths under them — live
+// or die on staying off the heap; an accidental closure or fmt call in
+// one of them silently multiplies per-event cost by an order of
+// magnitude. The static lint and the testing.AllocsPerRun guards in the
+// annotated packages enforce the same bar from two directions.
+//
+// The lint is intraprocedural and flags constructs that usually allocate:
+//
+//   - composite literals whose address is taken, and slice/map literals;
+//   - make, new and append;
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - fmt.* calls (interface boxing plus formatting state);
+//   - function literals (closure capture) and go statements;
+//   - ranging over a map (no allocation, but nondeterministic order —
+//     poison for the determinism contract the hot paths also carry).
+//
+// Plain value struct literals, calls into other functions and numeric
+// conversions are deliberately not flagged: the first two are
+// stack-allocatable or the callee's problem, and the guards catch what
+// escape analysis disagrees about. A reviewed exception is waived line
+// by line with //xlf:allow-hotpath.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathMarker marks a function's doc comment as an allocation-free
+// declaration enforced by the hotpathalloc rule.
+const HotPathMarker = "xlf:hotpath"
+
+// AllowHotPathMarker waives a hotpathalloc finding on its line (or the
+// whole function when placed in the doc comment) for reviewed,
+// deliberately-bounded allocations.
+const AllowHotPathMarker = "xlf:allow-hotpath"
+
+// HotPathAlloc enforces the //xlf:hotpath contract.
+type HotPathAlloc struct {
+	oracle   *typeOracle
+	prepared bool
+}
+
+// NewHotPathAlloc builds the analyzer.
+func NewHotPathAlloc() *HotPathAlloc {
+	return &HotPathAlloc{oracle: newTypeOracle()}
+}
+
+// Name implements Analyzer.
+func (h *HotPathAlloc) Name() string { return "hotpathalloc" }
+
+// Doc implements Documented.
+func (h *HotPathAlloc) Doc() string {
+	return "functions annotated //xlf:hotpath must not contain allocating constructs"
+}
+
+// Prepare implements ModuleAnalyzer: the shared tolerant type-check
+// powers the conversion and map-range classifications.
+func (h *HotPathAlloc) Prepare(pkgs []*Package) {
+	if h.prepared {
+		return
+	}
+	h.prepared = true
+	h.oracle.check(pkgs)
+}
+
+// isHotPath reports whether the declaration's doc comment carries the
+// directive. The raw comment list is scanned because //xlf:hotpath is a
+// directive comment, which (*CommentGroup).Text() strips. Only the
+// directive form — the comment starting with the marker, no space —
+// counts, so prose that merely mentions the marker does not annotate.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//"+HotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Analyzer.
+func (h *HotPathAlloc) Check(pkg *Package) []Finding {
+	if !h.prepared {
+		h.Prepare([]*Package{pkg})
+	}
+	pt := h.oracle.typesOf(pkg)
+	var out []Finding
+	for fi := range pkg.Files {
+		file := &pkg.Files[fi]
+		if file.Test {
+			continue
+		}
+		allowed := allowedLinesExceptDoc(pkg.Fset, file.AST, AllowHotPathMarker)
+		for _, decl := range file.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			w := &hotWalker{pkg: pkg, pt: pt, imports: importMap(file.AST), fn: fd.Name.Name, allowed: allowed}
+			w.walk(fd.Body)
+			out = append(out, w.out...)
+		}
+	}
+	return out
+}
+
+// allowedLinesExceptDoc is allowedLines without the doc-comment
+// whole-function grant: //xlf:allow-hotpath in a doc comment must not
+// waive the body wholesale (that would silently negate //xlf:hotpath in
+// the same comment group); the annotation is surgical, per line.
+func allowedLinesExceptDoc(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	docs := make(map[*ast.Comment]bool)
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				docs[c] = true
+			}
+		}
+	}
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if docs[c] || !strings.Contains(c.Text, marker) {
+				continue
+			}
+			start := fset.Position(c.Pos()).Line
+			end := fset.Position(c.End()).Line
+			for l := start; l <= end+1; l++ {
+				allowed[l] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// hotWalker lints one annotated function body.
+type hotWalker struct {
+	pkg     *Package
+	pt      *pkgTypes
+	imports map[string]string
+	fn      string
+	allowed map[int]bool
+	out     []Finding
+}
+
+func (w *hotWalker) report(pos token.Pos, desc string) {
+	if w.allowed[w.pkg.Fset.Position(pos).Line] {
+		return
+	}
+	w.out = append(w.out, w.pkg.finding("hotpathalloc", pos,
+		"hot path %s: %s; hoist it out of the hot path or waive with //%s",
+		w.fn, desc, AllowHotPathMarker))
+}
+
+// walk lints the body without descending into function literals: a
+// literal's *creation* is the hot-path cost; its body runs elsewhere.
+func (w *hotWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.report(n.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.GoStmt:
+			w.report(n.Pos(), "go statement allocates a goroutine stack")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					w.report(n.Pos(), "taking the address of a composite literal heap-allocates it")
+				}
+			}
+		case *ast.CompositeLit:
+			switch t := n.Type.(type) {
+			case *ast.ArrayType:
+				if t.Len == nil {
+					w.report(n.Pos(), "slice literal allocates its backing array")
+				}
+			case *ast.MapType:
+				w.report(n.Pos(), "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && w.isString(n) {
+				w.report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.RangeStmt:
+			if w.isMap(n.X) {
+				w.report(n.Pos(), "map iteration order is nondeterministic on a hot path")
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: builtins, fmt, and allocating
+// type conversions.
+func (w *hotWalker) call(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if w.isBuiltin(fun) {
+			switch fun.Name {
+			case "make", "new":
+				w.report(call.Pos(), fun.Name+" allocates")
+			case "append":
+				w.report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok && !isLocalIdent(w.pt, id) {
+			if w.imports[id.Name] == "fmt" {
+				w.report(call.Pos(), "fmt."+fun.Sel.Name+" boxes its arguments and allocates")
+				return
+			}
+		}
+	}
+	w.conversion(call)
+}
+
+// conversion flags string<->byte/rune-slice conversions, which copy.
+// A conversion whose operand is already a string (string(addr[4:])) is
+// free and stays quiet; without type info only the syntactic []T(x)
+// form is flagged.
+func (w *hotWalker) conversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if w.pt == nil {
+		if _, isArray := call.Fun.(*ast.ArrayType); isArray {
+			w.report(call.Pos(), "slice conversion copies its operand")
+		}
+		return
+	}
+	tv, ok := w.pt.info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	target := tv.Type.Underlying()
+	opTV, ok := w.pt.info.Types[call.Args[0]]
+	if !ok || opTV.Type == nil {
+		return
+	}
+	operand := opTV.Type.Underlying()
+	if isStringType(target) && !isStringType(operand) && !isUntypedConst(opTV) {
+		w.report(call.Pos(), "conversion to string allocates a copy")
+		return
+	}
+	if isByteOrRuneSlice(target) && isStringType(operand) {
+		w.report(call.Pos(), "conversion from string to a byte/rune slice allocates a copy")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedConst(tv types.TypeAndValue) bool { return tv.Value != nil }
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isString reports whether the expression's type is string-kinded (true
+// when the oracle has no answer but either operand is a string literal).
+func (w *hotWalker) isString(e *ast.BinaryExpr) bool {
+	if w.pt != nil {
+		if tv, ok := w.pt.info.Types[e]; ok && tv.Type != nil {
+			return isStringType(tv.Type.Underlying())
+		}
+	}
+	for _, op := range []ast.Expr{e.X, e.Y} {
+		if lit, ok := op.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			return true
+		}
+	}
+	return false
+}
+
+// isMap reports whether e has map type (syntactically a map literal
+// or via the oracle).
+func (w *hotWalker) isMap(e ast.Expr) bool {
+	if w.pt != nil {
+		if tv, ok := w.pt.info.Types[e]; ok && tv.Type != nil {
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		}
+	}
+	_, isMapType := e.(*ast.MapType)
+	return isMapType
+}
+
+// isBuiltin reports whether the identifier denotes a Go builtin.
+func (w *hotWalker) isBuiltin(id *ast.Ident) bool {
+	if w.pt != nil {
+		if obj := w.pt.info.Uses[id]; obj != nil {
+			_, isBuiltin := obj.(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	switch id.Name {
+	case "make", "new", "append":
+		return true
+	}
+	return false
+}
+
+var _ ModuleAnalyzer = (*HotPathAlloc)(nil)

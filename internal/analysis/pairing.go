@@ -520,6 +520,14 @@ const (
 // where the path leaves the function) or nil when every path discharges
 // the obligation.
 func (w *pairWalker) leakPath(b *Block, idx int, classify func(ast.Node) pairUse) *Block {
+	return cfgLeakPath(w.g, b, idx, classify)
+}
+
+// cfgLeakPath is the shared obligation path search (pairing, goroleak):
+// it walks every path from just after Nodes[idx] of block b and returns a
+// block on the first path that reaches the exit without classify seeing a
+// release or escape, or nil when every path discharges.
+func cfgLeakPath(g *CFG, b *Block, idx int, classify func(ast.Node) pairUse) *Block {
 	// Scan the remainder of the defining block first.
 	for i := idx + 1; i < len(b.Nodes); i++ {
 		if classify(b.Nodes[i]) != useNone {
@@ -529,7 +537,7 @@ func (w *pairWalker) leakPath(b *Block, idx int, classify func(ast.Node) pairUse
 	seen := map[*Block]bool{}
 	var walk func(blk *Block, from *Block) *Block
 	walk = func(blk *Block, from *Block) *Block {
-		if blk == w.g.Exit {
+		if blk == g.Exit {
 			return from
 		}
 		if seen[blk] {
@@ -548,7 +556,7 @@ func (w *pairWalker) leakPath(b *Block, idx int, classify func(ast.Node) pairUse
 		}
 		return nil
 	}
-	if b == w.g.Exit {
+	if b == g.Exit {
 		return nil
 	}
 	for _, s := range b.Succs {
@@ -562,17 +570,20 @@ func (w *pairWalker) leakPath(b *Block, idx int, classify func(ast.Node) pairUse
 // pathDesc names where a leaking path leaves the function, for the
 // diagnostic.
 func (w *pairWalker) pathDesc(b *Block) string {
-	if b.Panics {
-		return "a panic exit (line " + w.lineOf(b) + ")"
-	}
-	return "the return at line " + w.lineOf(b)
+	return cfgPathDesc(w.pkg, b)
 }
 
-func (w *pairWalker) lineOf(b *Block) string {
+// cfgPathDesc names where a leaking path leaves the function.
+func cfgPathDesc(pkg *Package, b *Block) string {
+	line := "?"
 	for i := len(b.Nodes) - 1; i >= 0; i-- {
 		if pos := b.Nodes[i].Pos(); pos.IsValid() {
-			return strconv.Itoa(w.pkg.Fset.Position(pos).Line)
+			line = strconv.Itoa(pkg.Fset.Position(pos).Line)
+			break
 		}
 	}
-	return "?"
+	if b.Panics {
+		return "a panic exit (line " + line + ")"
+	}
+	return "the return at line " + line
 }

@@ -65,7 +65,8 @@ type sarifArtifactLocation struct {
 }
 
 type sarifRegion struct {
-	StartLine int `json:"startLine"`
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
 }
 
 // WriteSARIF encodes the findings as a SARIF 2.1.0 log. The rules array
@@ -102,7 +103,7 @@ func WriteSARIF(w io.Writer, analyzers []Analyzer, findings []Finding) error {
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysicalLocation{
 					ArtifactLocation: sarifArtifactLocation{URI: f.File},
-					Region:           sarifRegion{StartLine: f.Line},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
 				},
 			}},
 		})

@@ -1,0 +1,90 @@
+// Package mixfix exercises the atomicmix rule: variables touched by
+// sync/atomic in one place and plainly in another, WaitGroup-by-value
+// signatures, holder-struct copies, and the accesses that must stay
+// quiet (the atomic sites themselves, composite-literal keys, waivers).
+package mixfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- A field guarded by sync/atomic in one method, plain elsewhere.
+
+type counter struct {
+	n uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) bad() uint64 {
+	return c.n // want "n is accessed with sync/atomic in inc .* but plainly here in bad"
+}
+
+func (c *counter) badStore(v uint64) {
+	c.n = v // want "n is accessed with sync/atomic in inc .* but plainly here in badStore"
+}
+
+// initOK names the field as a composite-literal key, which is not an
+// access.
+func initOK() *counter {
+	return &counter{n: 0}
+}
+
+//xlf:allow-atomicmix: single-goroutine setup phase, reviewed
+func allowedPlain(c *counter) uint64 {
+	return c.n
+}
+
+// --- A package-level variable under sync/atomic.
+
+var hits uint64
+
+func hit() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func readHits() uint64 {
+	return hits // want "hits is accessed with sync/atomic in hit .* but plainly here in readHits"
+}
+
+// --- WaitGroup and lock-holder copies.
+
+type holder struct {
+	wg sync.WaitGroup
+}
+
+func (h holder) run() {} // want "method run has a value receiver holding a sync.WaitGroup"
+
+func spawn(h holder) { // want "parameter of spawn copies a sync.WaitGroup by value"
+	_ = h
+}
+
+func spawnOK(h *holder) {
+	_ = h
+}
+
+func copyHolder(h *holder) {
+	cp := *h // want "assignment copies struct holder .holds a sync.WaitGroup. by value"
+	_ = cp
+}
+
+type box struct {
+	mu sync.Mutex
+}
+
+func copyBox(b *box) {
+	cp := *b // want "assignment copies struct box .holds a sync lock. by value"
+	_ = cp
+}
+
+func pointerOK(b *box) {
+	alias := b // pointer copy shares the lock: quiet
+	_ = alias
+}

@@ -1,0 +1,135 @@
+// Package gorofix exercises the goroleak rule: unstoppable goroutine
+// loops, WaitGroup Add misuse, unbuffered sends with a receiver-free
+// exit path, and the launch shapes that must stay quiet.
+package gorofix
+
+import "sync"
+
+func work() {}
+
+func consume(ch chan int) { <-ch }
+
+// --- An infinite loop with no exit signal can never be stopped.
+
+func leakForever() {
+	go func() {
+		for { // want "goroutine loops forever with no shutdown path"
+			work()
+		}
+	}()
+}
+
+// okDone can be stopped through the select.
+func okDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// okRecv parks on a receive each round.
+func okRecv(in chan int) {
+	go func() {
+		for {
+			<-in
+			work()
+		}
+	}()
+}
+
+// okRange terminates when the channel closes.
+func okRange(in chan int) {
+	go func() {
+		for range in {
+			work()
+		}
+	}()
+}
+
+//xlf:allow-goroleak: process-lifetime metrics pump, reviewed
+func allowedForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// --- WaitGroup misuse.
+
+func addInsideGo() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "WaitGroup.Add inside the goroutine races with Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func addBeforeGo() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func addNoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "Added to but never Waited on"
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func waiter(wg *sync.WaitGroup) { wg.Wait() }
+
+// wgEscapes hands the group to a helper; the wait may happen there.
+func wgEscapes() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	waiter(&wg)
+}
+
+// --- Unbuffered sends with no receiver on some path.
+
+func sendNoRecv(cond bool) int {
+	ch := make(chan int)
+	go func() { ch <- 1 }() // want "sends on unbuffered channel ch but the return at line \d+ has no receive"
+	if cond {
+		return 0
+	}
+	return <-ch
+}
+
+func sendOK() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+func bufferedOK() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+}
+
+// chanEscapes forwards the channel; the receive obligation moves with it.
+func chanEscapes() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	consume(ch)
+}

@@ -1,0 +1,61 @@
+// Package hotfix exercises the hotpathalloc rule: every flagged
+// construct inside an annotated function, the constructs that are
+// deliberately tolerated, unannotated functions, and line waivers.
+package hotfix
+
+import "fmt"
+
+type item struct{ a, b int }
+
+func work() {}
+
+//xlf:hotpath
+func hot(xs []int, m map[string]int, s string, n int) int {
+	p := &item{a: 1} // want "taking the address of a composite literal"
+	_ = p
+	sl := []int{1, 2} // want "slice literal allocates its backing array"
+	_ = sl
+	mm := map[string]int{} // want "map literal allocates"
+	_ = mm
+	buf := make([]byte, n) // want "make allocates"
+	_ = buf
+	q := new(item) // want "new allocates"
+	_ = q
+	xs = append(xs, n) // want "append may grow its backing array"
+	t := s + "!"       // want "string concatenation allocates"
+	_ = t
+	fmt.Println(n)     // want "fmt.Println boxes its arguments"
+	for k := range m { // want "map iteration order is nondeterministic"
+		_ = k
+	}
+	f := func() {} // want "function literal allocates a closure"
+	_ = f
+	go work()      // want "go statement allocates a goroutine stack"
+	b := []byte(s) // want "conversion from string to a byte/rune slice"
+	_ = b
+	u := string(rune(n)) // want "conversion to string allocates"
+	_ = u
+	v := item{a: 1} // value struct literal: stack-allocatable, quiet
+	_ = v
+	return xs[0] + int(int64(n)) // numeric conversions: free, quiet
+}
+
+// cold is unannotated: the same constructs carry no findings.
+func cold() *item {
+	buf := make([]byte, 8)
+	_ = buf
+	return &item{a: 2}
+}
+
+//xlf:hotpath
+func restring(b []byte, s string) string {
+	sub := string(s[1:]) // string-to-string: free, quiet
+	_ = sub
+	return string(b) // want "conversion to string allocates"
+}
+
+//xlf:hotpath
+func waived(n int) []int {
+	out := make([]int, n) //xlf:allow-hotpath: one-time sizing, reviewed
+	return out
+}

@@ -1,0 +1,166 @@
+// Package lockfix exercises the lockorder rule: inconsistent pairwise
+// orderings, self-deadlock, interprocedural edges through summaries,
+// longer cycles, package-level mutexes, and the shapes that must stay
+// quiet (branches, loops, consistent orderings, waived sites).
+package lockfix
+
+import "sync"
+
+// --- Inconsistent two-lock ordering within one package.
+
+type Reg struct{ Mu sync.Mutex }
+
+type Conn struct{ Mu sync.Mutex }
+
+func RegThenConn(r *Reg, c *Conn) {
+	r.Mu.Lock()
+	c.Mu.Lock() // want "inconsistent lock order: m\.Conn\.Mu acquired while holding m\.Reg\.Mu"
+	c.Mu.Unlock()
+	r.Mu.Unlock()
+}
+
+// --- Self-deadlock: re-acquiring a held, non-reentrant mutex.
+
+type S struct{ mu sync.Mutex }
+
+func relock(s *S) {
+	s.mu.Lock()
+	s.mu.Lock() // want "m\.S\.mu is acquired while already held .self-deadlock"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// --- Interprocedural: the edge flows through lockQ's summary.
+
+type P struct{ mu sync.Mutex }
+
+type Q struct{ mu sync.Mutex }
+
+func lockQ(q *Q) {
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+func pCallsQ(p *P, q *Q) {
+	p.mu.Lock()
+	lockQ(q) // want "inconsistent lock order: m\.Q\.mu acquired while holding m\.P\.mu"
+	p.mu.Unlock()
+}
+
+func qThenP(p *P, q *Q) {
+	q.mu.Lock()
+	p.mu.Lock() // want "inconsistent lock order: m\.P\.mu acquired while holding m\.Q\.mu"
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// --- Three-lock cycle: no edge has a direct reverse, every edge is on
+// the cycle.
+
+type C1 struct{ mu sync.Mutex }
+
+type C2 struct{ mu sync.Mutex }
+
+type C3 struct{ mu sync.Mutex }
+
+func c12(a *C1, b *C2) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func c23(b *C2, c *C3) {
+	b.mu.Lock()
+	c.mu.Lock() // want "lock-order cycle"
+	c.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func c31(c *C3, a *C1) {
+	c.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// --- Package-level mutex participates by variable identity.
+
+var gate sync.Mutex
+
+type DB struct{ mu sync.Mutex }
+
+func gateThenDB(d *DB) {
+	gate.Lock()
+	d.mu.Lock() // want "inconsistent lock order: m\.DB\.mu acquired while holding m\.gate"
+	d.mu.Unlock()
+	gate.Unlock()
+}
+
+func dbThenGate(d *DB) {
+	d.mu.Lock()
+	gate.Lock() // want "inconsistent lock order: m\.gate acquired while holding m\.DB\.mu"
+	gate.Unlock()
+	d.mu.Unlock()
+}
+
+// --- Waived site: the reviewed side is silent, the other still reports.
+
+type W1 struct{ mu sync.Mutex }
+
+type W2 struct{ mu sync.Mutex }
+
+func w12(a *W1, b *W2) {
+	a.mu.Lock()
+	b.mu.Lock() //xlf:allow-lockorder: boot path, reviewed against w21
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func w21(a *W1, b *W2) {
+	b.mu.Lock()
+	a.mu.Lock() // want "inconsistent lock order: m\.W1\.mu acquired while holding m\.W2\.mu"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// --- Shapes that must stay quiet.
+
+type N struct{ mu sync.Mutex }
+
+type M struct{ mu sync.Mutex }
+
+// branches: both arms acquire the same lock; the join must not invent a
+// held state that self-conflicts.
+func branches(n *N, cond bool) {
+	if cond {
+		n.mu.Lock()
+	} else {
+		n.mu.Lock()
+	}
+	n.mu.Unlock()
+}
+
+// loopClean: acquire/release inside a loop; the back edge carries an
+// empty held set.
+func loopClean(n *N) {
+	for i := 0; i < 3; i++ {
+		n.mu.Lock()
+		n.mu.Unlock()
+	}
+}
+
+// consistent: N before M everywhere — an edge, but never a cycle.
+func consistentA(n *N, m *M) {
+	n.mu.Lock()
+	m.mu.Lock()
+	m.mu.Unlock()
+	n.mu.Unlock()
+}
+
+func consistentB(n *N, m *M) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package sub acquires the root package's exported locks in the
+// opposite order, forming a cross-package cycle: both packages report
+// their own witness.
+package sub
+
+import root "example.com/m"
+
+func ConnThenReg(r *root.Reg, c *root.Conn) {
+	c.Mu.Lock()
+	r.Mu.Lock() // want "inconsistent lock order: m\.Reg\.Mu acquired while holding m\.Conn\.Mu"
+	r.Mu.Unlock()
+	c.Mu.Unlock()
+}

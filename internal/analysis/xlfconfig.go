@@ -252,6 +252,11 @@ func XLFAnalyzers() []Analyzer {
 		NewCryptoMisuse(XLFCryptoConfig),
 		NewDeadStore(),
 		NewUnreachable(),
+		// Concurrency-safety layer (DESIGN.md §10).
+		NewLockOrder(),
+		NewGoroLeak(),
+		NewAtomicMix(),
+		NewHotPathAlloc(),
 	}
 	return append(out, NewTaintSuite(XLFPlaintextEscape, XLFSecretLeak)...)
 }

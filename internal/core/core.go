@@ -238,7 +238,12 @@ func (c *Core) layerEnabled(l LayerName) bool {
 }
 
 // Ingest feeds one signal into the correlation engine, returning the alert
-// it raised, if any.
+// it raised, if any. This is the per-signal hot path: the disabled-layer
+// and no-tracer branches must stay allocation-free. The two history
+// appends are amortised-O(1) against window-bounded slices and are the
+// one reviewed exception (waived in vet-baseline.json).
+//
+//xlf:hotpath
 func (c *Core) Ingest(sig Signal) *Alert {
 	if !c.layerEnabled(sig.Layer) {
 		c.cDropped.Inc()

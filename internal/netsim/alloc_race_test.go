@@ -1,0 +1,5 @@
+//go:build race
+
+package netsim
+
+func init() { raceEnabled = true }

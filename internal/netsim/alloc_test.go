@@ -1,0 +1,40 @@
+package netsim
+
+import (
+	"testing"
+
+	"xlf/internal/sim"
+)
+
+// raceEnabled is flipped by alloc_race_test.go: the race runtime
+// instruments allocations, so byte-exact AllocsPerRun guards only run
+// in regular builds.
+var raceEnabled bool
+
+// TestSendDeliverAllocBudget is the dynamic half of the //xlf:hotpath
+// contract on Send and deliver: moving one packet end to end costs at
+// most the single Event allocation — Send reuses the network's
+// long-lived deliverArg closure and a constant event name, and deliver
+// (taps, stats, node dispatch) allocates nothing.
+func TestSendDeliverAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+
+	k := sim.NewKernel(1)
+	n := New(k)
+	dst := &FuncNode{Address: "lan:sink", Fn: func(*Network, *Packet) {}}
+	if err := n.Attach(dst, Link{}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := &Packet{Src: "lan:src", Dst: "lan:sink", Proto: "TLS", Size: 100}
+
+	if a := testing.AllocsPerRun(200, func() {
+		n.Send(pkt)
+		if !k.Step() {
+			t.Fatal("no delivery event")
+		}
+	}); a > 1 {
+		t.Errorf("Send+deliver allocates %.1f per packet, want at most 1 (the Event)", a)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package obs
+
+func init() { raceEnabled = true }

@@ -1,0 +1,43 @@
+package obs
+
+import "testing"
+
+// raceEnabled is flipped by alloc_race_test.go: the race runtime
+// instruments allocations, so byte-exact AllocsPerRun guards only run
+// in regular builds.
+var raceEnabled bool
+
+// TestHotPathAllocFree is the dynamic half of the //xlf:hotpath
+// contract (the static half is the hotpathalloc vet rule): the
+// disabled-tracer emit path and the metric update paths must not
+// allocate.
+func TestHotPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+
+	t.Run("nil tracer emit", func(t *testing.T) {
+		var tr *Tracer
+		if n := testing.AllocsPerRun(200, func() {
+			tr.EmitAt(0, LayerSim, "event", "", "noop")
+			tr.Emit(LayerCore, "ingest", "dev-1", "signal")
+			tr.EmitSpan(Span{Layer: LayerNetsim, Op: "send"})
+		}); n != 0 {
+			t.Errorf("disabled-tracer emit allocates %.1f per run, want 0", n)
+		}
+	})
+
+	t.Run("counter inc", func(t *testing.T) {
+		r := NewRegistry()
+		c := r.Counter("alloc.test")
+		g := r.Gauge("alloc.gauge")
+		if n := testing.AllocsPerRun(200, func() {
+			c.Inc()
+			c.Add(3)
+			g.Set(7)
+			g.Add(-2)
+		}); n != 0 {
+			t.Errorf("metric updates allocate %.1f per run, want 0", n)
+		}
+	})
+}

@@ -16,6 +16,8 @@ type Counter struct {
 }
 
 // Add increments the counter by delta. Nil-safe.
+//
+//xlf:hotpath
 func (c *Counter) Add(delta uint64) {
 	if c == nil {
 		return
@@ -24,6 +26,8 @@ func (c *Counter) Add(delta uint64) {
 }
 
 // Inc increments the counter by one. Nil-safe.
+//
+//xlf:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count. Nil-safe.
@@ -40,6 +44,8 @@ type Gauge struct {
 }
 
 // Set stores the gauge value. Nil-safe.
+//
+//xlf:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -48,6 +54,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by delta. Nil-safe.
+//
+//xlf:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -77,6 +85,8 @@ type Histogram struct {
 }
 
 // Observe records one sample. Nil-safe.
+//
+//xlf:hotpath
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return

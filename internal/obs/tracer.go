@@ -107,6 +107,8 @@ func (t *Tracer) SetClock(clock func() time.Duration) {
 }
 
 // Emit records an instant span timestamped by the bound clock.
+//
+//xlf:hotpath
 func (t *Tracer) Emit(layer, op, device, cause string) {
 	if t == nil {
 		return
@@ -122,6 +124,8 @@ func (t *Tracer) Emit(layer, op, device, cause string) {
 
 // EmitAt records an instant span with an explicit simulation timestamp —
 // the form the hot paths use, since they already hold the sim time.
+//
+//xlf:hotpath
 func (t *Tracer) EmitAt(at time.Duration, layer, op, device, cause string) {
 	if t == nil {
 		return
@@ -133,6 +137,8 @@ func (t *Tracer) EmitAt(at time.Duration, layer, op, device, cause string) {
 
 // EmitSpan records a fully-specified span (Dur, Detail). The tracer
 // assigns Seq; the caller supplies Time.
+//
+//xlf:hotpath
 func (t *Tracer) EmitSpan(s Span) {
 	if t == nil {
 		return
@@ -234,6 +240,8 @@ func (r *Region) endLocked(at time.Duration, cause string) {
 }
 
 // emitLocked appends one span; the caller holds t.mu.
+//
+//xlf:hotpath
 func (t *Tracer) emitLocked(s Span) {
 	t.seq++
 	s.Seq = t.seq

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// raceEnabled is flipped by alloc_race_test.go: the race runtime
+// instruments allocations, so byte-exact AllocsPerRun guards only run
+// in regular builds.
+var raceEnabled bool
+
+// TestStepAllocFree is the dynamic half of the //xlf:hotpath contract
+// on Kernel.Step: dispatching an already-queued event — including a
+// ScheduleArg event, whose payload is boxed at schedule time — must not
+// allocate. The queue is pre-filled so only the dispatch itself is
+// measured.
+func TestStepAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+
+	const runs = 200
+	k := NewKernel(1)
+	noop := func() {}
+	noopArg := func(any) {}
+	var payload int
+	for i := 0; i < runs+2; i++ {
+		k.Schedule(0, "noop", noop)
+		k.ScheduleArg(0, "noop-arg", noopArg, &payload)
+	}
+	if n := testing.AllocsPerRun(runs, func() {
+		if !k.Step() || !k.Step() {
+			t.Fatal("queue drained early")
+		}
+	}); n != 0 {
+		t.Errorf("Step allocates %.1f per dispatch pair, want 0", n)
+	}
+}

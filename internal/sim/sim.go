@@ -18,11 +18,18 @@ import (
 )
 
 // Event is a scheduled callback. Events run in timestamp order; ties are
-// broken by scheduling order so runs are deterministic.
+// broken by scheduling order so runs are deterministic. Exactly one of
+// Fn and FnArg is set: FnArg events (from ScheduleArg) carry their
+// argument in Arg, so high-rate callers can reuse one function value
+// instead of allocating a capturing closure per event.
 type Event struct {
 	At   time.Duration
 	Name string
 	Fn   func()
+
+	// FnArg, when non-nil, is dispatched as FnArg(Arg) instead of Fn().
+	FnArg func(any)
+	Arg   any
 
 	seq      uint64
 	canceled bool
@@ -140,11 +147,31 @@ func (k *Kernel) ScheduleAt(at time.Duration, name string, fn func()) *Event {
 	return e
 }
 
+// ScheduleArg queues fn(arg) to run after delay. It is the zero-closure
+// variant of Schedule for per-packet/per-event hot paths: the caller
+// keeps one long-lived fn and threads the payload through arg, so the
+// only allocation per call is the Event itself.
+func (k *Kernel) ScheduleArg(delay time.Duration, name string, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	at := k.now + delay
+	k.seq++
+	e := &Event{At: at, Name: name, FnArg: fn, Arg: arg, seq: k.seq}
+	heap.Push(&k.queue, e)
+	return e
+}
+
 // StopNow aborts the current Run after the in-flight event returns.
 func (k *Kernel) StopNow() { k.stopped = true }
 
 // Step executes the single earliest pending event, skipping canceled ones.
 // It reports whether an event was executed.
+//
+//xlf:hotpath
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		e := heap.Pop(&k.queue).(*Event)
@@ -156,7 +183,11 @@ func (k *Kernel) Step() bool {
 		if k.tracer != nil {
 			k.tracer.EmitAt(e.At, obs.LayerSim, "event", "", e.Name)
 		}
-		e.Fn()
+		if e.FnArg != nil {
+			e.FnArg(e.Arg)
+		} else {
+			e.Fn()
+		}
 		return true
 	}
 	return false

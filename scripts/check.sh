@@ -31,6 +31,7 @@ go test -run='^$' -fuzz='^FuzzCodecOpen$' -fuzztime=5s ./internal/dnsp
 go test -run='^$' -fuzz='^FuzzSealOpenRoundTrip$' -fuzztime=5s ./internal/dnsp
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
 go test -run='^$' -fuzz='^FuzzCFGBuild$' -fuzztime=5s ./internal/analysis
+go test -run='^$' -fuzz='^FuzzLockOrderGraph$' -fuzztime=5s ./internal/analysis
 
 echo '>> xlf-vet ./... (self-gate, baselined)'
 go run ./cmd/xlf-vet -baseline vet-baseline.json ./...
