@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-fix vet-concurrency fmt check report bench
+.PHONY: build test race vet vet-fix vet-concurrency vet-determinism fmt check report bench
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ vet-fix:
 # allocation rules — for quick iteration on locking or hot-path code.
 vet-concurrency:
 	$(GO) run ./cmd/xlf-vet -only lockorder,goroleak,atomicmix,hotpathalloc -baseline vet-baseline.json ./...
+
+# vet-determinism runs the reproduction-contract layer — the per-file
+# determinism rule plus the call-graph rules detflow, globalmut,
+# maporder and hotpathalloc — for quick iteration on simulator or
+# experiment code. check.sh runs the same set under -race.
+vet-determinism:
+	$(GO) run ./cmd/xlf-vet -only determinism,detflow,globalmut,maporder,hotpathalloc -baseline vet-baseline.json ./...
 
 fmt:
 	gofmt -w .

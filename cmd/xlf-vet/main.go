@@ -13,8 +13,14 @@
 // unbuffered sends no path receives, WaitGroup.Add racing Wait),
 // atomicmix (fields accessed both atomically and plainly; sync values
 // copied by value) and hotpathalloc (functions annotated //xlf:hotpath
-// must not allocate). See internal/analysis for the rules and DESIGN.md
-// for the architecture table they enforce.
+// must not contain or call into allocating constructs). On top of the
+// module-wide call graph sit the interprocedural determinism rules:
+// detflow (wall-clock and global-rand reachability from deterministic
+// packages through any depth of cross-package helpers), globalmut
+// (writes to mutable package-level state reachable from shard-state
+// packages) and maporder (map iteration order escaping into returns,
+// sinks, or unsorted appends). See internal/analysis for the rules and
+// DESIGN.md for the architecture table they enforce.
 //
 // Usage:
 //
@@ -26,6 +32,7 @@
 //	xlf-vet -only lockorder,goroleak ./...  # run only the named rules
 //	xlf-vet -baseline vet.json ./...   # report only findings not in the baseline
 //	xlf-vet -baseline vet.json -write-baseline ./...  # freeze current findings
+//	xlf-vet -baseline vet.json -prune-baseline ./...  # drop stale waivers
 //	xlf-vet -parallel 8 ./...          # per-package worker pool
 //	xlf-vet -cache-dir .vetcache ./... # reuse results when the module is unchanged
 //	xlf-vet -fix ./...                 # apply suggested edits for mechanical findings
@@ -61,11 +68,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
 		sarifOut  = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
-		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak,lockorder,goroleak,atomicmix,hotpathalloc)")
+		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,detflow,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak,lockorder,goroleak,atomicmix,hotpathalloc,globalmut,maporder)")
 		only      = fs.String("only", "", "comma-separated rules to run, dropping all others (same names as -disable)")
 		root      = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 		baseline  = fs.String("baseline", "", "baseline file: suppress the findings recorded in it")
 		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit clean")
+		pruneBase = fs.Bool("prune-baseline", false, "rewrite the -baseline file with stale waivers removed and exit clean")
 		parallel  = fs.Int("parallel", runtime.NumCPU(), "package-level analysis workers")
 		cacheDir  = fs.String("cache-dir", "", "directory for the per-package result cache (empty disables caching)")
 		fix       = fs.Bool("fix", false, "apply suggested edits for mechanical findings")
@@ -79,6 +87,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *writeBase && *baseline == "" {
 		fmt.Fprintln(stderr, "xlf-vet: -write-baseline requires -baseline <file>")
+		return 2
+	}
+	if *pruneBase && *baseline == "" {
+		fmt.Fprintln(stderr, "xlf-vet: -prune-baseline requires -baseline <file>")
+		return 2
+	}
+	if *pruneBase && *writeBase {
+		fmt.Fprintln(stderr, "xlf-vet: -prune-baseline and -write-baseline are mutually exclusive")
 		return 2
 	}
 
@@ -139,12 +155,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xlf-vet: wrote %d finding(s) to %s\n", len(findings), *baseline)
 		return 0
 	}
+	// Stale-waiver detection and pruning only make sense against the
+	// full finding set: a narrowed run misses findings in the packages
+	// it skipped and would misreport their waivers as stale.
+	fullRun := len(pkgs) == len(allPkgs) && len(analyzers) == len(analysis.XLFAnalyzers())
+	if *pruneBase {
+		if !fullRun {
+			fmt.Fprintln(stderr, "xlf-vet: -prune-baseline requires a full-module run with every rule enabled")
+			return 2
+		}
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+		removed := b.Prune(findings)
+		if err := b.WriteFile(*baseline); err != nil {
+			fmt.Fprintln(stderr, "xlf-vet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "xlf-vet: pruned %d stale waiver(s) from %s\n", removed, *baseline)
+		return 0
+	}
 	suppressed := 0
 	if *baseline != "" {
 		b, err := analysis.LoadBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintln(stderr, "xlf-vet:", err)
 			return 2
+		}
+		if fullRun {
+			for _, stale := range b.Unmatched(findings) {
+				fmt.Fprintf(stderr, "xlf-vet: stale baseline waiver (no finding matches): %s\n", stale)
+			}
 		}
 		findings, suppressed = b.Filter(findings)
 	}

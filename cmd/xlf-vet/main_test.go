@@ -122,12 +122,41 @@ func Keepalive(n *netsim.Network) {
 	n.Send(&netsim.Packet{Payload: device.NewPayload("d1", "keepalive", "")})
 }
 `)
-	// determinism: a wall-clock read inside the simulator.
+	// metrics is outside the deterministic set: its clock read is only
+	// reachable through the call graph.
+	write("internal/metrics/metrics.go", `package metrics
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	// detflow: the reproduction contract broken through the cross-package
+	// helper — invisible to the per-file determinism rule.
+	write("internal/exp/exp.go", `package exp
+
+import "xlf/internal/metrics"
+
+func Tick() int64 { return metrics.Stamp() }
+`)
+	// determinism: a wall-clock read inside the simulator; globalmut: a
+	// package-level write; maporder: keys collected in iteration order.
 	write("internal/sim/sim.go", `package sim
 
 import "time"
 
 func Now() time.Time { return time.Now() }
+
+var seen = map[string]bool{}
+
+func Mark(k string) { seen[k] = true }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
 `)
 	// lockcheck: a mutex-holder copied through a value receiver.
 	write("internal/core/core.go", `package core
@@ -200,6 +229,9 @@ func TestSeededViolationsFail(t *testing.T) {
 	for _, want := range []struct{ file, rule string }{
 		{"internal/device/device.go", "layercheck"},
 		{"internal/sim/sim.go", "determinism"},
+		{"internal/exp/exp.go", "detflow"},
+		{"internal/sim/sim.go", "globalmut"},
+		{"internal/sim/sim.go", "maporder"},
 		{"internal/core/core.go", "lockcheck"},
 		{"internal/xauth/xauth.go", "errdrop"},
 		{"internal/testbed/testbed.go", "plaintextescape"},
@@ -226,7 +258,7 @@ func TestSeededViolationsFail(t *testing.T) {
 func TestDisableDropsRule(t *testing.T) {
 	root := seedModule(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-root", root, "-disable", "cryptomisuse,deadstore,determinism,errdrop,layercheck,lockcheck,pairing,plaintextescape,secretleak,unreachable", "./..."}, &stdout, &stderr)
+	code := run([]string{"-root", root, "-disable", "cryptomisuse,deadstore,determinism,detflow,errdrop,globalmut,layercheck,lockcheck,maporder,pairing,plaintextescape,secretleak,unreachable", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d with all rules disabled, want 0\n%s%s", code, stdout.String(), stderr.String())
 	}
@@ -376,8 +408,8 @@ func TestSARIFGolden(t *testing.T) {
 		t.Fatalf("want one run from driver xlf-vet, got %+v", log.Runs)
 	}
 	rules := log.Runs[0].Tool.Driver.Rules
-	if len(rules) != 14 {
-		t.Errorf("rules array has %d entries, want all 14 configured rules", len(rules))
+	if len(rules) != 17 {
+		t.Errorf("rules array has %d entries, want all 17 configured rules", len(rules))
 	}
 	for _, r := range log.Runs[0].Results {
 		if r.Level != "error" {
@@ -453,6 +485,92 @@ func Later() time.Time { return time.Now().Add(time.Second) }
 	}
 	if strings.Count(out, "\n") != 1 {
 		t.Errorf("want exactly the one new finding, got:\n%s", out)
+	}
+}
+
+// TestBaselineStaleDetectionAndPrune: fixing a baselined violation turns
+// its waiver stale; a full-module run warns about it, and
+// -prune-baseline rewrites the file without it while keeping the live
+// entries (and their justifications).
+func TestBaselineStaleDetectionAndPrune(t *testing.T) {
+	root := seedModule(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-baseline", base, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline: exit %d\n%s", code, stderr.String())
+	}
+
+	// -prune-baseline guards: it needs -baseline and a full-module run.
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-prune-baseline", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("prune without -baseline: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-prune-baseline", "./internal/sim"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("prune on a narrowed run: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "full-module") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	// Fix the simulator's wall-clock read: its waiver is now stale, and
+	// a full-module baselined run says so on stderr while staying clean.
+	if err := os.WriteFile(filepath.Join(root, "internal/sim/sim.go"), []byte(`package sim
+
+import "time"
+
+func Now(c func() time.Time) time.Time { return c() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run after fix: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline waiver") || !strings.Contains(stderr.String(), "internal/sim/sim.go") {
+		t.Errorf("stale waiver not reported:\n%s", stderr.String())
+	}
+	// A narrowed run must NOT cry stale over packages it skipped.
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "./internal/xauth"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("narrowed baselined run: exit %d\n%s", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "stale baseline waiver") {
+		t.Errorf("narrowed run misreported staleness:\n%s", stderr.String())
+	}
+
+	// Prune, then: no warnings, still clean, surviving entries intact.
+	before, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-prune-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("prune: exit %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "pruned") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+	after, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Errorf("prune did not shrink the baseline (%d -> %d bytes)", len(before), len(after))
+	}
+	if !bytes.Contains(after, []byte("errdrop")) {
+		t.Errorf("live waivers lost in prune:\n%s", after)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-prune run: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if strings.Contains(stderr.String(), "stale baseline waiver") {
+		t.Errorf("staleness survived the prune:\n%s", stderr.String())
 	}
 }
 

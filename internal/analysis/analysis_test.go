@@ -119,7 +119,7 @@ func TestLayerCheckFixture(t *testing.T) {
 }
 
 func TestDeterminismFixture(t *testing.T) {
-	checkFixture(t, "determinism", NewDeterminism([]string{fixtureModule + "/internal/sim"}))
+	checkFixture(t, "determinism", NewDeterminism([]string{fixtureModule + "/internal/sim"}, nil))
 }
 
 func TestLockCheckFixture(t *testing.T) {
@@ -153,7 +153,7 @@ func fixtureTaintRule(r TaintRule) TaintRule {
 // over the seeded flow shapes: direct leak, sealed path, interprocedural
 // in both directions, field writes, and waivers.
 func TestTaintFixture(t *testing.T) {
-	suite := NewTaintSuite(fixtureTaintRule(XLFPlaintextEscape), fixtureTaintRule(XLFSecretLeak))
+	suite := NewTaintSuite(nil, fixtureTaintRule(XLFPlaintextEscape), fixtureTaintRule(XLFSecretLeak))
 	checkFixture(t, "taint", suite...)
 }
 
@@ -201,8 +201,8 @@ func TestRepoCleanUnderAllRules(t *testing.T) {
 		t.Error(f)
 	}
 	// The baseline must not rot: every waiver still matches a finding.
-	if want := len(findings) - len(kept); suppressed != want || suppressed != 5 {
-		t.Errorf("baseline suppressed %d finding(s), want 5; stale entries must be pruned", suppressed)
+	if want := len(findings) - len(kept); suppressed != want || suppressed != 7 {
+		t.Errorf("baseline suppressed %d finding(s), want 7; stale entries must be pruned", suppressed)
 	}
 }
 

@@ -101,6 +101,41 @@ func (b *Baseline) Filter(findings []Finding) (kept []Finding, suppressed int) {
 	return kept, suppressed
 }
 
+// Unmatched lists baseline entries no current finding hits — stale
+// waivers whose underlying code was fixed or deleted. Each is rendered
+// "file: [rule] message", sorted, ready for a driver warning.
+func (b *Baseline) Unmatched(findings []Finding) []string {
+	hit := make(map[baselineKey]bool, len(findings))
+	for _, f := range findings {
+		hit[baselineKey{f.File, f.Rule, f.Message}] = true
+	}
+	var stale []string
+	for k := range b.entries {
+		if !hit[k] {
+			stale = append(stale, fmt.Sprintf("%s: [%s] %s", k.File, k.Rule, k.Message))
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// Prune drops every entry no current finding matches and reports how
+// many were removed. Pair with WriteFile to rewrite the file.
+func (b *Baseline) Prune(findings []Finding) int {
+	hit := make(map[baselineKey]bool, len(findings))
+	for _, f := range findings {
+		hit[baselineKey{f.File, f.Rule, f.Message}] = true
+	}
+	removed := 0
+	for k := range b.entries {
+		if !hit[k] {
+			delete(b.entries, k)
+			removed++
+		}
+	}
+	return removed
+}
+
 // Merge carries justifications from old into b for entries present in
 // both, so re-freezing a baseline does not erase the review trail.
 func (b *Baseline) Merge(old *Baseline) {

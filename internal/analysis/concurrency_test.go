@@ -13,7 +13,7 @@ import (
 )
 
 func TestLockOrderFixture(t *testing.T) {
-	checkFixture(t, "lockorder", NewLockOrder())
+	checkFixture(t, "lockorder", NewLockOrder(nil))
 }
 
 func TestGoroLeakFixture(t *testing.T) {
@@ -25,7 +25,7 @@ func TestAtomicMixFixture(t *testing.T) {
 }
 
 func TestHotPathAllocFixture(t *testing.T) {
-	checkFixture(t, "hotpathalloc", NewHotPathAlloc())
+	checkFixture(t, "hotpathalloc", NewHotPathAlloc(nil))
 }
 
 // FuzzLockOrderGraph feeds arbitrary source through the full lockorder
@@ -51,7 +51,7 @@ func FuzzLockOrderGraph(f *testing.F) {
 			Fset:       fset,
 			Files:      []File{{Name: "fuzz.go", AST: file}},
 		}
-		a := NewLockOrder()
+		a := NewLockOrder(nil)
 		a.Prepare([]*Package{pkg})
 		_ = a.Check(pkg)
 	})

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -24,11 +25,31 @@ type Determinism struct {
 	// Packages lists the import paths (exact, or "prefix/..." patterns)
 	// the contract applies to.
 	Packages []string
+
+	// graph supplies go/types object identity so aliased imports
+	// (import t "time"; t.Now()) resolve and locals shadowing an import
+	// name stay quiet. Without it the rule falls back to selector text.
+	graph    *CallGraph
+	prepared bool
 }
 
-// NewDeterminism builds the analyzer for the given package set.
-func NewDeterminism(packages []string) *Determinism {
-	return &Determinism{Packages: packages}
+// NewDeterminism builds the analyzer for the given package set on a
+// shared call graph (nil builds a private one).
+func NewDeterminism(packages []string, g *CallGraph) *Determinism {
+	if g == nil {
+		g = NewCallGraph()
+	}
+	return &Determinism{Packages: packages, graph: g}
+}
+
+// Prepare implements ModuleAnalyzer: the shared type-check resolves
+// import aliases by object identity.
+func (d *Determinism) Prepare(pkgs []*Package) {
+	if d.prepared {
+		return
+	}
+	d.prepared = true
+	d.graph.Build(pkgs)
 }
 
 // Name implements Analyzer.
@@ -64,9 +85,13 @@ var randConstructors = map[string]bool{
 
 // Check implements Analyzer.
 func (d *Determinism) Check(pkg *Package) []Finding {
+	if !d.prepared {
+		d.Prepare([]*Package{pkg})
+	}
 	if !d.applies(pkg.ImportPath) {
 		return nil
 	}
+	pt := d.graph.oracle.typesOf(pkg)
 	var out []Finding
 	for _, f := range pkg.Files {
 		if f.Test {
@@ -96,13 +121,39 @@ func (d *Determinism) Check(pkg *Package) []Finding {
 			if allowed[line] {
 				return true
 			}
+			// Resolve the qualifier by object identity when the oracle
+			// knows it: any alias of "time" counts, and a local variable
+			// that happens to be named like the import does not. The
+			// selector-text fallback covers oracle-less loads.
+			path, resolved := "", false
+			if pt != nil {
+				switch obj := pt.info.Uses[recv].(type) {
+				case *types.PkgName:
+					path, resolved = obj.Imported().Path(), true
+				case nil:
+					// No entry: fall back to selector text below.
+				default:
+					return true // a local shadowing the import name
+				}
+			}
+			if !resolved {
+				switch {
+				case hasTime && recv.Name == timeName:
+					path = "time"
+				case hasRand && recv.Name == randName:
+					path = "math/rand"
+				case hasRandV2 && recv.Name == randV2Name:
+					path = "math/rand/v2"
+				default:
+					return true
+				}
+			}
 			switch {
-			case hasTime && recv.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+			case path == "time" && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
 				out = append(out, pkg.finding(d.Name(), call.Pos(),
 					"wall-clock read time.%s in deterministic package %s; inject a clock (or annotate //%s)",
 					sel.Sel.Name, pkg.ImportPath, AllowWallclockMarker))
-			case hasRand && recv.Name == randName && !randConstructors[sel.Sel.Name],
-				hasRandV2 && recv.Name == randV2Name && !randConstructors[sel.Sel.Name]:
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[sel.Sel.Name]:
 				out = append(out, pkg.finding(d.Name(), call.Pos(),
 					"global math/rand.%s in deterministic package %s; draw from an injected seeded *rand.Rand",
 					sel.Sel.Name, pkg.ImportPath))
@@ -113,4 +164,4 @@ func (d *Determinism) Check(pkg *Package) []Finding {
 	return out
 }
 
-var _ Analyzer = (*Determinism)(nil)
+var _ ModuleAnalyzer = (*Determinism)(nil)

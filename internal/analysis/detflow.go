@@ -1,0 +1,233 @@
+package analysis
+
+// DetFlow is the interprocedural half of the determinism contract. The
+// determinism rule flags a wall-clock read or a global math/rand draw
+// written directly inside a deterministic package; DetFlow closes the
+// loophole it leaves open: a helper in any *other* package that reads
+// the clock, reached from simulation code through any depth of calls.
+// The call-graph engine supplies reachability — every function's
+// summary records one witness primitive it may reach — and this rule
+// reports at the *boundary*: the call site inside a deterministic
+// package whose callee lives outside the set and carries a non-empty
+// summary. Primitives called directly stay the determinism rule's
+// report (no duplicates), and callees inside the set are reported in
+// their own package.
+//
+// Waiver semantics follow the existing //xlf:allow-wallclock marker at
+// both ends of a chain: a waived primitive site produces no fact at
+// all (the sanctioned measurement code in internal/exp stays invisible
+// to every caller), and the marker on a boundary call site (or in the
+// calling function's doc comment) waives that root individually.
+//
+// Bare references (f := time.Now, handing the real clock around as a
+// value) are reported too: a reference inside a deterministic package
+// is a determinism leak the moment anything invokes it.
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DetFlow reports reachability of nondeterministic primitives from the
+// deterministic package set.
+type DetFlow struct {
+	// Packages is the deterministic set (exact paths or "prefix/..."),
+	// shared with the determinism rule.
+	Packages []string
+
+	graph    *CallGraph
+	prepared bool
+	// facts maps funcKey → at most one primitive description the
+	// function reaches ("wall-clock read time.Now", ...).
+	facts map[string][]string
+	// direct holds the per-function direct facts, kept so Chain can
+	// identify the fact-bearing endpoint of a witness path.
+	direct map[string][]string
+}
+
+// NewDetFlow builds the analyzer on a shared call graph (nil builds a
+// private one).
+func NewDetFlow(packages []string, g *CallGraph) *DetFlow {
+	if g == nil {
+		g = NewCallGraph()
+	}
+	return &DetFlow{Packages: packages, graph: g}
+}
+
+// Name implements Analyzer.
+func (d *DetFlow) Name() string { return "detflow" }
+
+// Doc implements Documented.
+func (d *DetFlow) Doc() string {
+	return "deterministic packages must not reach wall-clock or global-rand primitives through any depth of helpers"
+}
+
+// applies reports whether the deterministic set covers importPath,
+// with the same exact/"prefix/..." matching as the determinism rule.
+func (d *DetFlow) applies(importPath string) bool {
+	return matchPackages(d.Packages, importPath)
+}
+
+// primitiveDesc classifies a callee key as a nondeterministic
+// primitive, returning a diagnostic description or "".
+func primitiveDesc(key string) string {
+	pkg, recv, name := splitKey(key)
+	if recv != "" {
+		return "" // methods on seeded *rand.Rand values are fine
+	}
+	switch pkg {
+	case "time":
+		if name == "Now" || name == "Since" {
+			return "wall-clock read time." + name
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			return "global math/rand." + name
+		}
+	}
+	return ""
+}
+
+// followDetFlow accepts every precisely-resolved edge: plain, deferred
+// and spawned calls, calls inside closures (capturing a clock read is
+// already a hazard) and bare references. Fallback-resolved edges are
+// excluded — a unique-method-name guess must not manufacture a
+// determinism violation.
+func followDetFlow(e CallEdge) bool { return !e.Fallback }
+
+// Prepare implements ModuleAnalyzer: build the graph, collect direct
+// primitive facts (skipping waived lines), and run the fixpoint.
+func (d *DetFlow) Prepare(pkgs []*Package) {
+	if d.prepared {
+		return
+	}
+	d.prepared = true
+	d.graph.Build(pkgs)
+
+	d.direct = make(map[string][]string)
+	allowed := make(map[*File]map[int]bool)
+	for _, key := range d.graph.Keys() {
+		fn := d.graph.Func(key)
+		for _, e := range fn.Edges {
+			desc := primitiveDesc(e.Callee)
+			if desc == "" {
+				continue
+			}
+			if allowed[fn.File] == nil {
+				allowed[fn.File] = allowedLines(fn.Pkg.Fset, fn.File.AST, AllowWallclockMarker)
+			}
+			if allowed[fn.File][fn.Pkg.Fset.Position(e.Pos).Line] {
+				continue
+			}
+			d.direct[key] = append(d.direct[key], desc)
+		}
+	}
+	for key, facts := range d.direct {
+		d.direct[key] = dedupSorted(facts)
+	}
+	d.facts = d.graph.Fixpoint(d.direct, followDetFlow, 1)
+}
+
+// Check implements Analyzer: report boundary call sites and primitive
+// references inside deterministic packages.
+func (d *DetFlow) Check(pkg *Package) []Finding {
+	if !d.prepared {
+		d.Prepare([]*Package{pkg})
+	}
+	if !d.applies(pkg.ImportPath) {
+		return nil
+	}
+	allowed := make(map[*File]map[int]bool)
+	var out []Finding
+	for _, key := range d.graph.Keys() {
+		fn := d.graph.Func(key)
+		if fn.Pkg != pkg || fn.File.Test {
+			continue
+		}
+		if allowed[fn.File] == nil {
+			allowed[fn.File] = allowedLines(pkg.Fset, fn.File.AST, AllowWallclockMarker)
+		}
+		waived := allowed[fn.File]
+		reported := make(map[token.Pos]bool)
+		for _, e := range fn.Edges {
+			if e.Fallback || reported[e.Pos] || waived[pkg.Fset.Position(e.Pos).Line] {
+				continue
+			}
+			if desc := primitiveDesc(e.Callee); desc != "" {
+				// Direct calls are the determinism rule's report; a bare
+				// reference is this rule's.
+				if e.Kind == EdgeRef {
+					reported[e.Pos] = true
+					out = append(out, pkg.finding(d.Name(), e.Pos,
+						"reference to %s in deterministic package %s; inject a clock/seeded generator (or annotate //%s)",
+						desc, pkg.ImportPath, AllowWallclockMarker))
+				}
+				continue
+			}
+			if d.applies(keyPkg(e.Callee)) {
+				continue // reported inside the callee's own package
+			}
+			facts := d.facts[e.Callee]
+			if len(facts) == 0 {
+				continue
+			}
+			reported[e.Pos] = true
+			out = append(out, pkg.finding(d.Name(), e.Pos,
+				"call to %s reaches %s (%s) from deterministic package %s; inject a clock/seeded generator (or annotate //%s)",
+				FuncDisplay(e.Callee), facts[0], d.witness(e.Callee), pkg.ImportPath, AllowWallclockMarker))
+		}
+	}
+	return out
+}
+
+// witness renders the call chain from the boundary callee to the
+// fact-bearing function for the diagnostic.
+func (d *DetFlow) witness(from string) string {
+	chain := d.graph.Chain(from, func(k string) bool { return len(d.direct[k]) > 0 }, followDetFlow)
+	if chain == nil {
+		return "via " + FuncDisplay(from)
+	}
+	return "via " + displayChain(chain)
+}
+
+// keyPkg returns the package component of a summary key.
+func keyPkg(key string) string {
+	pkg, _, _ := splitKey(key)
+	return pkg
+}
+
+// matchPackages reports whether set covers importPath (exact entries or
+// "prefix/..." patterns), shared by the package-scoped rules.
+func matchPackages(set []string, importPath string) bool {
+	for _, p := range set {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+				return true
+			}
+		} else if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupSorted sorts and deduplicates a fact list in place.
+func dedupSorted(facts []string) []string {
+	if len(facts) < 2 {
+		return facts
+	}
+	sort.Strings(facts)
+	out := facts[:1]
+	for _, f := range facts[1:] {
+		if f != out[len(out)-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+var (
+	_ ModuleAnalyzer = (*DetFlow)(nil)
+	_ Documented     = (*DetFlow)(nil)
+)

@@ -42,15 +42,32 @@ const HotPathMarker = "xlf:hotpath"
 // deliberately-bounded allocations.
 const AllowHotPathMarker = "xlf:allow-hotpath"
 
-// HotPathAlloc enforces the //xlf:hotpath contract.
+// HotPathAlloc enforces the //xlf:hotpath contract. With a call graph
+// it is transitive: callees of an annotated function must themselves
+// be alloc-free to any depth, reported at the hot function's call site
+// with a witness chain. Callees that carry their own //xlf:hotpath
+// annotation are skipped — their own gate covers them.
 type HotPathAlloc struct {
+	graph    *CallGraph
 	oracle   *typeOracle
 	prepared bool
+	// facts maps funcKey → at most one allocation description the
+	// function (transitively) performs; nil when built without a graph.
+	facts map[string][]string
+	// direct marks the fact-bearing functions for chain witnesses.
+	direct map[string][]string
+	// hot marks //xlf:hotpath-annotated functions.
+	hot map[string]bool
 }
 
-// NewHotPathAlloc builds the analyzer.
-func NewHotPathAlloc() *HotPathAlloc {
-	return &HotPathAlloc{oracle: newTypeOracle()}
+// NewHotPathAlloc builds the analyzer on a shared call graph; nil
+// keeps the rule intraprocedural (annotated frames only).
+func NewHotPathAlloc(g *CallGraph) *HotPathAlloc {
+	h := &HotPathAlloc{graph: g, oracle: newTypeOracle()}
+	if g != nil {
+		h.oracle = g.oracle
+	}
+	return h
 }
 
 // Name implements Analyzer.
@@ -58,17 +75,59 @@ func (h *HotPathAlloc) Name() string { return "hotpathalloc" }
 
 // Doc implements Documented.
 func (h *HotPathAlloc) Doc() string {
-	return "functions annotated //xlf:hotpath must not contain allocating constructs"
+	return "functions annotated //xlf:hotpath must not contain or call into allocating constructs"
+}
+
+// followHotPath follows plain and deferred calls: both run in the hot
+// frame. Spawned goroutines and closure bodies are excluded — their
+// *creation* is already flagged in the frame that creates them — and
+// so are fallback-resolved edges and bare references.
+func followHotPath(e CallEdge) bool {
+	return !e.Fallback && (e.Kind == EdgeCall || e.Kind == EdgeDefer)
 }
 
 // Prepare implements ModuleAnalyzer: the shared tolerant type-check
-// powers the conversion and map-range classifications.
+// powers the conversion and map-range classifications; with a graph,
+// per-function allocation facts are collected and made transitive.
 func (h *HotPathAlloc) Prepare(pkgs []*Package) {
 	if h.prepared {
 		return
 	}
 	h.prepared = true
-	h.oracle.check(pkgs)
+	if h.graph == nil {
+		h.oracle.check(pkgs)
+		return
+	}
+	h.graph.Build(pkgs)
+
+	h.direct = make(map[string][]string)
+	h.hot = make(map[string]bool)
+	allowed := make(map[*File]map[int]bool)
+	for _, key := range h.graph.Keys() {
+		fn := h.graph.Func(key)
+		if fn.File.Test {
+			continue
+		}
+		if isHotPath(fn.Decl) {
+			h.hot[key] = true
+		}
+		if allowed[fn.File] == nil {
+			allowed[fn.File] = allowedLinesExceptDoc(fn.Pkg.Fset, fn.File.AST, AllowHotPathMarker)
+		}
+		key := key
+		w := &hotWalker{
+			pkg: fn.Pkg, pt: h.oracle.typesOf(fn.Pkg), imports: importMap(fn.File.AST),
+			fn: fn.Decl.Name.Name, allowed: allowed[fn.File],
+			emit: func(pos token.Pos, desc string) {
+				h.direct[key] = append(h.direct[key], desc+" in "+FuncDisplay(key))
+			},
+		}
+		w.walk(fn.Decl.Body)
+	}
+	for key, facts := range h.direct {
+		h.direct[key] = dedupSorted(facts)
+	}
+	h.facts = h.graph.Fixpoint(h.direct, followHotPath, 1)
 }
 
 // isHotPath reports whether the declaration's doc comment carries the
@@ -109,7 +168,45 @@ func (h *HotPathAlloc) Check(pkg *Package) []Finding {
 			w := &hotWalker{pkg: pkg, pt: pt, imports: importMap(file.AST), fn: fd.Name.Name, allowed: allowed}
 			w.walk(fd.Body)
 			out = append(out, w.out...)
+			out = append(out, h.transitive(pkg, fd, allowed)...)
 		}
+	}
+	return out
+}
+
+// transitive reports calls out of a hot function into callees that
+// (transitively) allocate, using the graph summaries from Prepare.
+func (h *HotPathAlloc) transitive(pkg *Package, fd *ast.FuncDecl, allowed map[int]bool) []Finding {
+	if h.graph == nil {
+		return nil
+	}
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recv = recvTypeName(fd.Recv.List[0].Type)
+	}
+	fn := h.graph.Func(funcKey(pkg.ImportPath, recv, fd.Name.Name))
+	if fn == nil || fn.Decl != fd {
+		return nil
+	}
+	var out []Finding
+	reported := make(map[token.Pos]bool)
+	for _, e := range fn.Edges {
+		if !followHotPath(e) || h.hot[e.Callee] || reported[e.Pos] {
+			continue
+		}
+		facts := h.facts[e.Callee]
+		if len(facts) == 0 || allowed[pkg.Fset.Position(e.Pos).Line] {
+			continue
+		}
+		reported[e.Pos] = true
+		chain := h.graph.Chain(e.Callee, func(k string) bool { return len(h.direct[k]) > 0 }, followHotPath)
+		witness := FuncDisplay(e.Callee)
+		if chain != nil {
+			witness = displayChain(chain)
+		}
+		out = append(out, pkg.finding("hotpathalloc", e.Pos,
+			"hot path %s: call into %s allocates (%s; via %s); hoist it out of the hot path or waive with //%s",
+			fd.Name.Name, FuncDisplay(e.Callee), facts[0], witness, AllowHotPathMarker))
 	}
 	return out
 }
@@ -143,18 +240,24 @@ func allowedLinesExceptDoc(fset *token.FileSet, f *ast.File, marker string) map[
 	return allowed
 }
 
-// hotWalker lints one annotated function body.
+// hotWalker lints one annotated function body (or, with emit set,
+// collects allocation facts for the transitive summaries).
 type hotWalker struct {
 	pkg     *Package
 	pt      *pkgTypes
 	imports map[string]string
 	fn      string
 	allowed map[int]bool
+	emit    func(pos token.Pos, desc string)
 	out     []Finding
 }
 
 func (w *hotWalker) report(pos token.Pos, desc string) {
 	if w.allowed[w.pkg.Fset.Position(pos).Line] {
+		return
+	}
+	if w.emit != nil {
+		w.emit(pos, desc)
 		return
 	}
 	w.out = append(w.out, w.pkg.finding("hotpathalloc", pos,

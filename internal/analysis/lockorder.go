@@ -44,6 +44,7 @@ const AllowLockOrderMarker = "xlf:allow-lockorder"
 // LockOrder builds the module's lock-acquisition graph and reports
 // cycles.
 type LockOrder struct {
+	graph    *CallGraph
 	oracle   *typeOracle
 	prepared bool
 	// summaries maps funcKey → sorted lock ids the function may acquire,
@@ -64,10 +65,15 @@ type lockWitness struct {
 	loc  string // checkout-independent "importpath/file.go:line"
 }
 
-// NewLockOrder builds the analyzer.
-func NewLockOrder() *LockOrder {
+// NewLockOrder builds the analyzer on a shared call graph (nil builds
+// a private one).
+func NewLockOrder(g *CallGraph) *LockOrder {
+	if g == nil {
+		g = NewCallGraph()
+	}
 	return &LockOrder{
-		oracle:    newTypeOracle(),
+		graph:     g,
+		oracle:    g.oracle,
 		summaries: make(map[string][]string),
 		edges:     make(map[lockEdge][]lockWitness),
 		adj:       make(map[string]map[string]bool),
@@ -82,66 +88,55 @@ func (l *LockOrder) Doc() string {
 	return "lock acquisition order must be consistent module-wide; cycles in the lock graph are potential deadlocks"
 }
 
-// lockFunc is one declared function during summary computation.
-type lockFunc struct {
-	pkg  *Package
-	file *File
-	decl *ast.FuncDecl
+// followLockOrder follows plain, deferred and spawned calls — all run
+// the callee's acquisitions eventually — but not calls inside nested
+// literals (the literal runs as its own function, with nothing of the
+// creator's held) and not fallback-resolved edges (a unique-name guess
+// must not invent a deadlock).
+func followLockOrder(e CallEdge) bool {
+	return !e.Fallback && (e.Kind == EdgeCall || e.Kind == EdgeDefer || e.Kind == EdgeGo)
 }
 
 // Prepare implements ModuleAnalyzer: compute acquisition summaries to a
-// fixpoint, then walk every CFG recording held→acquired edges.
+// fixpoint over the shared call graph, then walk every CFG recording
+// held→acquired edges. Test files participate in summaries and edges
+// like any other caller: a deadlock triggered from a test hangs CI
+// just as hard (the graph indexes them for exactly this client).
 func (l *LockOrder) Prepare(pkgs []*Package) {
 	if l.prepared {
 		return
 	}
 	l.prepared = true
-	l.oracle.check(pkgs)
+	l.graph.Build(pkgs)
 
-	// Index declared functions. Test files participate in summaries and
-	// edges like any other caller: a deadlock triggered from a test hangs
-	// CI just as hard.
-	funcs := make(map[string]*lockFunc)
-	var keys []string
-	for _, pkg := range pkgs {
-		for fi := range pkg.Files {
-			file := &pkg.Files[fi]
-			for _, decl := range file.AST.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				recv := ""
-				if fd.Recv != nil && len(fd.Recv.List) > 0 {
-					recv = recvTypeName(fd.Recv.List[0].Type)
-				}
-				key := funcKey(pkg.ImportPath, recv, fd.Name.Name)
-				if _, dup := funcs[key]; !dup {
-					funcs[key] = &lockFunc{pkg: pkg, file: file, decl: fd}
-					keys = append(keys, key)
+	// Direct acquisitions per function, skipping nested literals; the
+	// graph's fixpoint makes them transitive.
+	direct := make(map[string][]string)
+	for _, key := range l.graph.Keys() {
+		fn := l.graph.Func(key)
+		pt := l.oracle.typesOf(fn.Pkg)
+		set := make(map[string]bool)
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, acquire, ok := lockIdOf(pt, call); ok && acquire {
+					set[id] = true
 				}
 			}
-		}
-	}
-	sort.Strings(keys)
-
-	// Fixpoint: each function's acquire set is its direct acquisitions
-	// plus those of everything it calls. Ten rounds bound deep mutual
-	// recursion; real call graphs converge in two or three.
-	for round := 0; round < 10; round++ {
-		changed := false
-		for _, key := range keys {
-			fn := funcs[key]
-			set := l.acquireSet(fn)
-			if !sameStrings(l.summaries[key], set) {
-				l.summaries[key] = set
-				changed = true
+			return true
+		})
+		if len(set) > 0 {
+			ids := make([]string, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
 			}
-		}
-		if !changed {
-			break
+			sort.Strings(ids)
+			direct[key] = ids
 		}
 	}
+	l.summaries = l.graph.Fixpoint(direct, followLockOrder, 0)
 
 	// Edge pass over every function body, literals included (a literal
 	// starts with nothing held: it runs on its own goroutine or later —
@@ -162,44 +157,6 @@ func (l *LockOrder) Prepare(pkgs []*Package) {
 		}
 		l.adj[e.from][e.to] = true
 	}
-}
-
-// acquireSet computes one function's transitive lock-acquire set from
-// current summaries: a linear walk is enough here because only the set
-// matters, not the order — ordering comes from the CFG edge pass.
-func (l *LockOrder) acquireSet(fn *lockFunc) []string {
-	pt := l.oracle.typesOf(fn.pkg)
-	imports := importMap(fn.file.AST)
-	set := make(map[string]bool)
-	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
-		if _, isLit := n.(*ast.FuncLit); isLit {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if id, acquire, ok := lockIdOf(pt, call); ok {
-			if acquire {
-				set[id] = true
-			}
-			return true
-		}
-		c, _ := resolveCall(pt, imports, fn.pkg.ImportPath, call)
-		if c.recv == "?" || c.name == "" {
-			return true
-		}
-		for _, id := range l.summaries[funcKey(c.pkg, c.recv, c.name)] {
-			set[id] = true
-		}
-		return true
-	})
-	out := make([]string, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
 }
 
 func sameStrings(a, b []string) bool {

@@ -1,0 +1,378 @@
+package analysis
+
+// MapOrder automates the bug class PR 4 had to find by review:
+// System.attest iterated the device map directly into Core.Ingest, so
+// two runs of the same seed attested in different orders and the
+// replay hashes diverged. The rule finds every `range` over a map in
+// the deterministic packages and reports when the iteration's key or
+// value escapes in iteration order:
+//
+//   - appended to a slice that is never sorted afterwards in the same
+//     function (a sort.* / slices.* call naming the slice after the
+//     loop launders the order, which is exactly the attest fix);
+//   - returned from the enclosing function straight out of the loop
+//     body — `for k := range m { return k }` picks an arbitrary
+//     element. A return nested under an if/switch inside the loop is
+//     treated as a guarded search (`if k == want { return v }`) and
+//     stays quiet;
+//   - passed to a configured sink (trace emits, report-table rows,
+//     Core ingestion) whose observable order then depends on map
+//     iteration.
+//
+// The analysis is intraprocedural and object-based (range variables
+// are matched by go/types identity, not name). //xlf:allow-maporder on
+// the escape site — or on the range statement, covering the whole
+// loop — waives a reviewed exception.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllowMapOrderMarker waives a maporder finding on its line; on the
+// range statement's line it waives the whole loop.
+const AllowMapOrderMarker = "xlf:allow-maporder"
+
+// MapOrder reports map-iteration order escaping into ordered outputs.
+type MapOrder struct {
+	// Packages scopes the rule (exact or "prefix/..."), normally the
+	// deterministic set.
+	Packages []string
+	// Sinks are calls whose argument order is observable output.
+	Sinks []TaintRef
+
+	graph    *CallGraph
+	prepared bool
+	sinks    *refMatcher
+}
+
+// NewMapOrder builds the analyzer on a shared call graph (nil builds a
+// private one; only the graph's type oracle is used).
+func NewMapOrder(packages []string, sinks []TaintRef, g *CallGraph) *MapOrder {
+	if g == nil {
+		g = NewCallGraph()
+	}
+	return &MapOrder{Packages: packages, Sinks: sinks, graph: g, sinks: newRefMatcher(sinks)}
+}
+
+// Name implements Analyzer.
+func (m *MapOrder) Name() string { return "maporder" }
+
+// Doc implements Documented.
+func (m *MapOrder) Doc() string {
+	return "map iteration order must not flow into returns, sinks, or unsorted slice appends in deterministic packages"
+}
+
+// Prepare implements ModuleAnalyzer: the shared graph's tolerant
+// type-check supplies map types and range-variable identity.
+func (m *MapOrder) Prepare(pkgs []*Package) {
+	if m.prepared {
+		return
+	}
+	m.prepared = true
+	m.graph.Build(pkgs)
+}
+
+// Check implements Analyzer.
+func (m *MapOrder) Check(pkg *Package) []Finding {
+	if !m.prepared {
+		m.Prepare([]*Package{pkg})
+	}
+	if !matchPackages(m.Packages, pkg.ImportPath) {
+		return nil
+	}
+	pt := m.graph.oracle.typesOf(pkg)
+	var out []Finding
+	for fi := range pkg.Files {
+		file := &pkg.Files[fi]
+		if file.Test {
+			continue
+		}
+		allowed := allowedLines(pkg.Fset, file.AST, AllowMapOrderMarker)
+		imports := importMap(file.AST)
+		for _, decl := range file.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &mapOrderWalker{
+				m: m, pkg: pkg, pt: pt, imports: imports,
+				fn: fd, allowed: allowed,
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if r, ok := n.(*ast.RangeStmt); ok {
+					w.rangeStmt(r)
+				}
+				return true
+			})
+			out = append(out, w.out...)
+		}
+	}
+	return out
+}
+
+// mapOrderWalker checks the map ranges of one function.
+type mapOrderWalker struct {
+	m       *MapOrder
+	pkg     *Package
+	pt      *pkgTypes
+	imports map[string]string
+	fn      *ast.FuncDecl
+	allowed map[int]bool
+	out     []Finding
+}
+
+func (w *mapOrderWalker) report(pos ast.Node, format string, args ...any) {
+	if w.allowed[w.pkg.Fset.Position(pos.Pos()).Line] {
+		return
+	}
+	w.out = append(w.out, w.pkg.finding("maporder", pos.Pos(), format, args...))
+}
+
+// rangeStmt checks one `range` statement ranging over a map.
+func (w *mapOrderWalker) rangeStmt(r *ast.RangeStmt) {
+	if !w.isMap(r.X) {
+		return
+	}
+	if w.allowed[w.pkg.Fset.Position(r.Pos()).Line] {
+		return // waiver on the range covers the whole loop
+	}
+	objs := w.rangeVarObjs(r)
+	if len(objs) == 0 {
+		return // `for range m {}` observes nothing
+	}
+	w.walkBody(r, r.Body, objs, 0)
+}
+
+// walkBody scans the loop body. guarded counts enclosing if/switch
+// nesting inside the loop: a return under a guard is a search, not an
+// arbitrary pick. Nested function literals are skipped (their bodies
+// run as their own functions).
+func (w *mapOrderWalker) walkBody(r *ast.RangeStmt, n ast.Node, objs map[types.Object]string, guarded int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return
+	case *ast.IfStmt:
+		w.walkBody(r, n.Body, objs, guarded+1)
+		w.walkBody(r, n.Else, objs, guarded+1)
+		return
+	case *ast.SwitchStmt:
+		w.walkBody(r, n.Body, objs, guarded+1)
+		return
+	case *ast.TypeSwitchStmt:
+		w.walkBody(r, n.Body, objs, guarded+1)
+		return
+	case *ast.SelectStmt:
+		w.walkBody(r, n.Body, objs, guarded+1)
+		return
+	case *ast.ReturnStmt:
+		if guarded == 0 {
+			for _, res := range n.Results {
+				if name, ok := w.refers(res, objs); ok {
+					w.report(n, "map iteration order flows into a return value through %s; collect and sort first (or annotate //%s)",
+						name, AllowMapOrderMarker)
+					break
+				}
+			}
+		}
+		return
+	case *ast.AssignStmt:
+		w.appendStmt(r, n, objs)
+		// fall through to scan RHS calls as sinks
+	case *ast.CallExpr:
+		w.sinkCall(n, objs)
+	}
+	// Generic recursion over children.
+	children(n, func(c ast.Node) {
+		w.walkBody(r, c, objs, guarded)
+	})
+}
+
+// children invokes f over n's immediate AST children.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			f(c)
+		}
+		return false
+	})
+}
+
+// appendStmt flags `dst = append(dst, ...key/value...)` unless dst is
+// sorted later in the enclosing function.
+func (w *mapOrderWalker) appendStmt(r *ast.RangeStmt, n *ast.AssignStmt, objs map[types.Object]string) {
+	for _, rhs := range n.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) < 2 {
+			continue
+		}
+		name := ""
+		for _, a := range call.Args[1:] {
+			if n, ok := w.refers(a, objs); ok {
+				name = n
+				break
+			}
+		}
+		if name == "" {
+			continue
+		}
+		dst, haveDst := rootIdent(call.Args[0])
+		if haveDst && w.sortedAfter(r, dst) {
+			continue
+		}
+		dstName := "the slice"
+		if haveDst {
+			dstName = dst.Name
+		}
+		w.report(call, "map iteration order flows into append to %s through %s with no sort after the loop; sort %s before use (or annotate //%s)",
+			dstName, name, dstName, AllowMapOrderMarker)
+	}
+}
+
+// sinkCall flags configured sink calls taking key/value-derived
+// arguments.
+func (w *mapOrderWalker) sinkCall(call *ast.CallExpr, objs map[types.Object]string) {
+	c, _ := resolveCall(w.pt, w.imports, w.pkg.ImportPath, call)
+	if c.name == "" || !w.m.sinks.match(c, w.pkg.ImportPath, w.imports) {
+		return
+	}
+	for _, a := range call.Args {
+		if name, ok := w.refers(a, objs); ok {
+			w.report(call, "map iteration order flows into sink %s through %s; iterate sorted keys (or annotate //%s)",
+				c.String(), name, AllowMapOrderMarker)
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether a sorting call naming dst appears after
+// the range statement in the enclosing function. A call sorts when it
+// targets sort.* / slices.* directly, or a module helper that reaches
+// either package through the call graph (sortStrings-style wrappers).
+func (w *mapOrderWalker) sortedAfter(r *ast.RangeStmt, dst *ast.Ident) bool {
+	dstObj := w.identObj(dst)
+	found := false
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		c, _ := resolveCall(w.pt, w.imports, w.pkg.ImportPath, call)
+		if !w.isSortCall(c) {
+			return true
+		}
+		for _, a := range call.Args {
+			root, ok := rootIdent(a)
+			if !ok {
+				continue
+			}
+			if (dstObj != nil && w.identObj(root) == dstObj) || root.Name == dst.Name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether the callee launders ordering: the sort
+// or slices package itself, or a module function that reaches one of
+// them through precisely-resolved call edges.
+func (w *mapOrderWalker) isSortCall(c callee) bool {
+	if c.pkg == "sort" || c.pkg == "slices" {
+		return true
+	}
+	key, _, ok := w.m.graph.calleeKey(c)
+	if !ok {
+		return false
+	}
+	chain := w.m.graph.Chain(key, func(k string) bool {
+		pkg := keyPkg(k)
+		return pkg == "sort" || pkg == "slices"
+	}, func(e CallEdge) bool { return !e.Fallback && e.Kind == EdgeCall })
+	return chain != nil
+}
+
+// rangeVarObjs collects the range statement's key/value variables as
+// type objects; without an oracle entry the loop is skipped (the rule
+// needs identity, not names, to avoid shadowing false positives).
+func (w *mapOrderWalker) rangeVarObjs(r *ast.RangeStmt) map[types.Object]string {
+	objs := make(map[types.Object]string)
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := w.identObj(id); obj != nil {
+			objs[obj] = id.Name
+		}
+	}
+	return objs
+}
+
+// identObj resolves an identifier to its object (Defs first — range
+// `:=` variables are definitions — then Uses).
+func (w *mapOrderWalker) identObj(id *ast.Ident) types.Object {
+	if w.pt == nil {
+		return nil
+	}
+	if obj := w.pt.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pt.info.Uses[id]
+}
+
+// refers reports whether expr references one of the range variables,
+// returning its name.
+func (w *mapOrderWalker) refers(expr ast.Expr, objs map[types.Object]string) (string, bool) {
+	name, found := "", false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := w.identObj(id); obj != nil {
+			if n, ok := objs[obj]; ok {
+				name, found = n, true
+				return false
+			}
+		}
+		return true
+	})
+	return name, found
+}
+
+// isMap reports whether e has map type.
+func (w *mapOrderWalker) isMap(e ast.Expr) bool {
+	if w.pt != nil {
+		if tv, ok := w.pt.info.Types[e]; ok && tv.Type != nil {
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		}
+	}
+	_, isMapType := e.(*ast.MapType)
+	return isMapType
+}
+
+var (
+	_ ModuleAnalyzer = (*MapOrder)(nil)
+	_ Documented     = (*MapOrder)(nil)
+)

@@ -69,6 +69,10 @@ type TaintRule struct {
 type Taint struct {
 	Rule TaintRule
 
+	// graph, when set, supplies the module's function index (and the
+	// type oracle behind it) so the taint suite shares one call graph
+	// with the concurrency and determinism layers.
+	graph    *CallGraph
 	oracle   *typeOracle
 	prepared bool
 
@@ -83,15 +87,19 @@ type Taint struct {
 	summaries map[string]*taintSummary
 }
 
-// NewTaintSuite builds one analyzer per rule, all sharing a single
-// tolerant type-check of the module.
-func NewTaintSuite(rules ...TaintRule) []Analyzer {
-	oracle := newTypeOracle()
+// NewTaintSuite builds one analyzer per rule, all sharing the given
+// call graph's tolerant type-check and function index (a nil graph
+// gets a private one).
+func NewTaintSuite(g *CallGraph, rules ...TaintRule) []Analyzer {
+	if g == nil {
+		g = NewCallGraph()
+	}
 	out := make([]Analyzer, len(rules))
 	for i, r := range rules {
 		out[i] = &Taint{
 			Rule:       r,
-			oracle:     oracle,
+			graph:      g,
+			oracle:     g.oracle,
 			sources:    newRefMatcher(r.Sources),
 			sinks:      newRefMatcher(r.Sinks),
 			sanitizers: newRefMatcher(r.Sanitizers),
@@ -171,39 +179,31 @@ func (t *Taint) Prepare(pkgs []*Package) {
 		return
 	}
 	t.prepared = true
-	t.oracle.check(pkgs)
+	t.graph.Build(pkgs)
 
+	// The graph indexes every declaration (test files included, for the
+	// concurrency rules); taint summarizes production code only.
 	t.funcs = make(map[string]*taintFunc)
 	t.methodsByName = make(map[string][]string)
 	t.summaries = make(map[string]*taintSummary)
-	for _, pkg := range pkgs {
-		pt := t.oracle.typesOf(pkg)
-		for fi := range pkg.Files {
-			file := &pkg.Files[fi]
-			if file.Test {
-				continue
-			}
-			for _, decl := range file.AST.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				tf := &taintFunc{pkg: pkg, file: file, decl: fd}
-				recv := ""
-				if fd.Recv != nil && len(fd.Recv.List) > 0 {
-					recv = recvTypeName(fd.Recv.List[0].Type)
-					tf.params = append(tf.params, fieldKeys(pt, fd.Recv.List[0])...)
-				}
-				for _, f := range fd.Type.Params.List {
-					tf.params = append(tf.params, fieldKeys(pt, f)...)
-				}
-				tf.ref = TaintRef{Pkg: pkg.ImportPath, Recv: recv, Name: fd.Name.Name}
-				tf.key = funcKey(pkg.ImportPath, recv, fd.Name.Name)
-				t.funcs[tf.key] = tf
-				if recv != "" {
-					t.methodsByName[fd.Name.Name] = append(t.methodsByName[fd.Name.Name], tf.key)
-				}
-			}
+	for _, key := range t.graph.Keys() {
+		gf := t.graph.Func(key)
+		if gf.File.Test {
+			continue
+		}
+		pt := t.oracle.typesOf(gf.Pkg)
+		fd := gf.Decl
+		tf := &taintFunc{pkg: gf.Pkg, file: gf.File, decl: fd, key: key}
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			tf.params = append(tf.params, fieldKeys(pt, fd.Recv.List[0])...)
+		}
+		for _, f := range fd.Type.Params.List {
+			tf.params = append(tf.params, fieldKeys(pt, f)...)
+		}
+		tf.ref = TaintRef{Pkg: gf.Pkg.ImportPath, Recv: gf.Recv, Name: fd.Name.Name}
+		t.funcs[key] = tf
+		if gf.Recv != "" {
+			t.methodsByName[fd.Name.Name] = append(t.methodsByName[fd.Name.Name], key)
 		}
 	}
 
@@ -599,11 +599,11 @@ func (w *taintWalker) call(call *ast.CallExpr) taintVal {
 	}
 
 	switch {
-	case w.t.sanitizers.match(c, w):
+	case w.t.sanitizers.match(c, w.pkg.ImportPath, w.imports):
 		return 0
-	case w.t.sources.match(c, w):
+	case w.t.sources.match(c, w.pkg.ImportPath, w.imports):
 		return taintSource
-	case w.t.sinks.match(c, w):
+	case w.t.sinks.match(c, w.pkg.ImportPath, w.imports):
 		for _, v := range argVals {
 			if v != 0 {
 				w.hitSinkArg(call, c.String(), "", v)
@@ -833,10 +833,10 @@ func newRefMatcher(refs []TaintRef) *refMatcher {
 }
 
 // match reports whether the callee hits a table entry. Unresolved
-// receivers match by method name when the file imports (or is) the
-// declaring package — a deliberate over-approximation, waivable with
-// //xlf:allow-taint.
-func (m *refMatcher) match(c callee, w *taintWalker) bool {
+// receivers match by method name when the calling file imports (or is)
+// the declaring package — a deliberate over-approximation, waivable
+// with the calling rule's marker.
+func (m *refMatcher) match(c callee, selfPkg string, imports map[string]string) bool {
 	if c.recv == "" {
 		return m.funcs[[2]string{c.pkg, c.name}]
 	}
@@ -844,10 +844,10 @@ func (m *refMatcher) match(c callee, w *taintWalker) bool {
 		return m.methods[[3]string{c.pkg, c.recv, c.name}]
 	}
 	for _, pkg := range m.methodPkgs[c.name] {
-		if pkg == w.pkg.ImportPath {
+		if pkg == selfPkg {
 			return true
 		}
-		for _, imported := range w.imports {
+		for _, imported := range imports {
 			if imported == pkg {
 				return true
 			}

@@ -1,0 +1,58 @@
+// The transitive half of hotpathalloc: a //xlf:hotpath function must
+// not call into allocating helpers either, at any depth, with the
+// witness chain naming the allocation. Hot callees own their own
+// findings and are skipped at the call site.
+package hot
+
+type stats struct {
+	hist []int
+	tags map[string]int
+}
+
+// fill allocates directly; calling it from a hot path is the finding.
+func fill(s *stats, v int) {
+	s.hist = append(s.hist, v)
+}
+
+// outer reaches an allocation two calls deep.
+func outer(s *stats) { inner(s) }
+
+func inner(s *stats) {
+	s.tags = make(map[string]int)
+}
+
+// lean touches no allocator at any depth.
+func lean(s *stats, v int) {
+	if len(s.hist) > 0 {
+		s.hist[0] = v
+	}
+}
+
+//xlf:hotpath
+func ingest(s *stats, v int) {
+	fill(s, v) // want "\[hotpathalloc\] hot path ingest: call into hot.fill allocates \(append may grow its backing array in hot.fill; via hot.fill\)"
+	lean(s, v)
+}
+
+//xlf:hotpath
+func deep(s *stats) {
+	outer(s) // want "\[hotpathalloc\] hot path deep: call into hot.outer allocates \(make allocates in hot.inner; via hot.outer → hot.inner\)"
+}
+
+// hot callees are skipped here: drain reports its own body, not its
+// callers' call sites.
+//
+//xlf:hotpath
+func chained(s *stats, v int) {
+	drain(s, v)
+}
+
+//xlf:hotpath
+func drain(s *stats, v int) {
+	lean(s, v)
+}
+
+//xlf:hotpath
+func waivedCall(s *stats, v int) {
+	fill(s, v) //xlf:allow-hotpath warm-up slot, measured off the steady-state path
+}

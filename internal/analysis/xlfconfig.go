@@ -114,6 +114,34 @@ var XLFDeterministicPackages = []string{
 	"xlf/internal/testbed",
 }
 
+// XLFShardStatePackages are the call-tree roots that must stay free of
+// package-level mutation for ROADMAP item 2 (sharded deterministic
+// PDES): once the kernel shards, any global these packages reach is a
+// cross-shard race and a replay divergence.
+var XLFShardStatePackages = []string{
+	"xlf/internal/core",
+	"xlf/internal/exp",
+	"xlf/internal/netsim",
+	"xlf/internal/sim",
+}
+
+// XLFMapOrderSinks are the calls whose argument order is observable
+// output for the maporder rule: trace emits, report-table rows and
+// Core signal ingestion — the surfaces the replay hash and the paper's
+// tables are built from.
+var XLFMapOrderSinks = []TaintRef{
+	{Pkg: "xlf/internal/core", Recv: "Core", Name: "Ingest"},
+	{Pkg: "xlf/internal/obs", Recv: "Tracer", Name: "Emit"},
+	{Pkg: "xlf/internal/obs", Recv: "Tracer", Name: "EmitAt"},
+	{Pkg: "xlf/internal/obs", Recv: "Tracer", Name: "EmitSpan"},
+	{Pkg: "xlf/internal/metrics", Recv: "Table", Name: "AddRow"},
+	{Pkg: "xlf/internal/metrics", Recv: "Table", Name: "AddRowf"},
+	{Pkg: "fmt", Name: "Fprintf"},
+	{Pkg: "fmt", Name: "Fprintln"},
+	{Pkg: "fmt", Name: "Printf"},
+	{Pkg: "fmt", Name: "Println"},
+}
+
 // XLFSecurityPackages are the packages where a dropped error converts a
 // security failure into silent success. metrics and analytics are
 // included because a silently-missing observation skews the detection
@@ -241,11 +269,16 @@ var XLFCryptoConfig = CryptoConfig{
 	RandPkgs: []string{"math/rand", "math/rand/v2"},
 }
 
-// XLFAnalyzers returns the full rule set configured for this repository.
+// XLFAnalyzers returns the full rule set configured for this
+// repository. One CallGraph (and the type oracle inside it) is shared
+// by every interprocedural rule — determinism, lockorder, hotpathalloc,
+// the shard-safety layer and the taint suite — so the module is
+// type-checked and its call edges resolved exactly once per run.
 func XLFAnalyzers() []Analyzer {
+	g := NewCallGraph()
 	out := []Analyzer{
 		NewLayerCheck(XLFModule, XLFLayerTable),
-		NewDeterminism(XLFDeterministicPackages),
+		NewDeterminism(XLFDeterministicPackages, g),
 		NewLockCheck(),
 		NewErrDrop(XLFSecurityPackages),
 		NewPairingAnalyzer(XLFReceiverPairs, XLFValuePairs),
@@ -253,10 +286,14 @@ func XLFAnalyzers() []Analyzer {
 		NewDeadStore(),
 		NewUnreachable(),
 		// Concurrency-safety layer (DESIGN.md §10).
-		NewLockOrder(),
+		NewLockOrder(g),
 		NewGoroLeak(),
 		NewAtomicMix(),
-		NewHotPathAlloc(),
+		NewHotPathAlloc(g),
+		// Interprocedural shard-safety & determinism layer (DESIGN.md §11).
+		NewDetFlow(XLFDeterministicPackages, g),
+		NewGlobalMut(XLFShardStatePackages, g),
+		NewMapOrder(XLFDeterministicPackages, XLFMapOrderSinks, g),
 	}
-	return append(out, NewTaintSuite(XLFPlaintextEscape, XLFSecretLeak)...)
+	return append(out, NewTaintSuite(g, XLFPlaintextEscape, XLFSecretLeak)...)
 }

@@ -2,6 +2,7 @@ package attack
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"xlf/internal/device"
@@ -217,10 +218,4 @@ func (a *DNSPoison) Execute(env *Env) Result {
 	return Result{Attack: a.Name(), Blocked: "forgery rejected (encrypted channel or lost race)"}
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
+func sortStrings(s []string) { sort.Strings(s) }

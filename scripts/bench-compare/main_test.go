@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -130,5 +132,73 @@ func TestCompareUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-bogus"}, &out); code != 2 {
 		t.Errorf("bad flag: exit %d", code)
+	}
+}
+
+func TestCompareCorruptArtifact(t *testing.T) {
+	a := write(t, stepMeta(), result("E1", "out\n", 1e6, nil))
+	b := write(t, stepMeta(), result("E1", "out\n", 1e6, nil))
+	if err := os.WriteFile(filepath.Join(b, "BENCH_Ez.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := run([]string{"-base", a, "-new", b}, &out); code != 2 {
+		t.Errorf("corrupt candidate artifact: exit %d, want 2", code)
+	}
+	if code := run([]string{"-base", b, "-new", a}, &out); code != 2 {
+		t.Errorf("corrupt baseline artifact: exit %d, want 2", code)
+	}
+}
+
+func TestCompareMissingDir(t *testing.T) {
+	a := write(t, stepMeta(), result("E1", "out\n", 1e6, nil))
+	gone := filepath.Join(t.TempDir(), "never-written")
+	var out strings.Builder
+	// A nonexistent baseline dir has no artifacts: a usage-level error,
+	// not a silent "no regressions".
+	if code := run([]string{"-base", gone, "-new", a}, &out); code != 2 {
+		t.Errorf("missing baseline dir: exit %d, want 2", code)
+	}
+}
+
+// TestCompareEmptyNewSet pins that an empty candidate set reports every
+// baseline experiment as missing instead of passing vacuously.
+func TestCompareEmptyNewSet(t *testing.T) {
+	a := write(t, stepMeta(),
+		result("E1", "out\n", 1e6, nil),
+		result("E2", "two\n", 1e6, nil))
+	var out strings.Builder
+	if code := run([]string{"-base", a, "-new", t.TempDir()}, &out); code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, id := range []string{"E1", "E2"} {
+		if !strings.Contains(s, id+": missing") {
+			t.Errorf("%s not reported missing:\n%s", id, s)
+		}
+	}
+	if !strings.Contains(s, "2 regression(s)") {
+		t.Errorf("want 2 regressions:\n%s", s)
+	}
+}
+
+// TestCompareToleranceBoundary pins the comparison operators at the
+// thresholds: drift exactly at -tolerance passes (strictly-greater
+// gates), one notch tighter fails. The 0.75/0.25 values are exact in
+// binary, so the equality is not at the mercy of rounding.
+func TestCompareToleranceBoundary(t *testing.T) {
+	a := write(t, stepMeta(), result("E1", "out\n", 1e6, map[string]float64{"f1": 1.0}))
+	b := write(t, stepMeta(), result("E1", "out\n", 1.25e6, map[string]float64{"f1": 0.75}))
+	var out strings.Builder
+	if code := run([]string{"-base", a, "-new", b, "-tolerance", "0.25", "-wall-tolerance", "0.25"}, &out); code != 0 {
+		t.Errorf("at-threshold drift should pass; exit %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-base", a, "-new", b, "-tolerance", "0.2", "-wall-tolerance", "0.25"}, &out); code != 1 {
+		t.Errorf("above-threshold number drift should fail; exit %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-base", a, "-new", b, "-tolerance", "0.25", "-wall-tolerance", "0.2"}, &out); code != 1 {
+		t.Errorf("above-threshold wall slowdown should fail; exit %d:\n%s", code, out.String())
 	}
 }

@@ -32,9 +32,16 @@ go test -run='^$' -fuzz='^FuzzSealOpenRoundTrip$' -fuzztime=5s ./internal/dnsp
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
 go test -run='^$' -fuzz='^FuzzCFGBuild$' -fuzztime=5s ./internal/analysis
 go test -run='^$' -fuzz='^FuzzLockOrderGraph$' -fuzztime=5s ./internal/analysis
+go test -run='^$' -fuzz='^FuzzCallGraph$' -fuzztime=5s ./internal/analysis
 
 echo '>> xlf-vet ./... (self-gate, baselined)'
 go run ./cmd/xlf-vet -baseline vet-baseline.json ./...
+
+# The reproduction-contract layer (make vet-determinism) again under the
+# race detector: the shared call graph is built once and read by several
+# analyzers across the worker pool.
+echo '>> xlf-vet determinism layer (race detector)'
+go run -race ./cmd/xlf-vet -only determinism,detflow,globalmut,maporder,hotpathalloc -baseline vet-baseline.json ./...
 
 # Driver determinism: the SARIF report must be byte-identical at
 # -parallel 1 and -parallel 8, with a cold and then a warm result cache,
