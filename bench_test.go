@@ -29,13 +29,23 @@ func benchExperiment(b *testing.B, fn func(seed int64) *exp.Result) {
 	}
 }
 
-func BenchmarkTable1DeviceProfiles(b *testing.B) { benchExperiment(b, exp.Table1) }
-
-func BenchmarkTable2AttackSurface(b *testing.B) { benchExperiment(b, exp.Table2) }
-
-func BenchmarkTable3Ciphers(b *testing.B) {
-	benchExperiment(b, func(int64) *exp.Result { return exp.Table3() })
+// benchRegistry resolves one registry descriptor and regenerates its
+// artifact per iteration, seeding each run differently so the costs are
+// not cache artifacts.
+func benchRegistry(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Lookup(id)
+	if !ok {
+		b.Fatalf("registry lost %s", id)
+	}
+	benchExperiment(b, func(seed int64) *exp.Result { return e.Run(exp.NewEnv(seed)) })
 }
+
+func BenchmarkTable1DeviceProfiles(b *testing.B) { benchRegistry(b, "T1") }
+
+func BenchmarkTable2AttackSurface(b *testing.B) { benchRegistry(b, "T2") }
+
+func BenchmarkTable3Ciphers(b *testing.B) { benchRegistry(b, "T3") }
 
 func BenchmarkFigure2ProtocolRegistry(b *testing.B) {
 	benchExperiment(b, func(int64) *exp.Result { return exp.Figure2() })
@@ -52,23 +62,23 @@ func BenchmarkFiguresArchitecture(b *testing.B) {
 	})
 }
 
-func BenchmarkE1CrossLayerDetection(b *testing.B) { benchExperiment(b, exp.E1CrossLayer) }
+func BenchmarkE1CrossLayerDetection(b *testing.B) { benchRegistry(b, "E1") }
 
-func BenchmarkE2TrafficShaping(b *testing.B) { benchExperiment(b, exp.E2Shaping) }
+func BenchmarkE2TrafficShaping(b *testing.B) { benchRegistry(b, "E2") }
 
-func BenchmarkE3AuthDelegation(b *testing.B) { benchExperiment(b, exp.E3Auth) }
+func BenchmarkE3AuthDelegation(b *testing.B) { benchRegistry(b, "E3") }
 
-func BenchmarkE4EncryptedDPI(b *testing.B) { benchExperiment(b, exp.E4DPI) }
+func BenchmarkE4EncryptedDPI(b *testing.B) { benchRegistry(b, "E4") }
 
-func BenchmarkE5BehaviorDFA(b *testing.B) { benchExperiment(b, exp.E5Behavior) }
+func BenchmarkE5BehaviorDFA(b *testing.B) { benchRegistry(b, "E5") }
 
-func BenchmarkE6CoreLearning(b *testing.B) { benchExperiment(b, exp.E6Learning) }
+func BenchmarkE6CoreLearning(b *testing.B) { benchRegistry(b, "E6") }
 
-func BenchmarkE7DNSPrivacy(b *testing.B) { benchExperiment(b, exp.E7DNS) }
+func BenchmarkE7DNSPrivacy(b *testing.B) { benchRegistry(b, "E7") }
 
-func BenchmarkE8Botnet(b *testing.B) { benchExperiment(b, exp.E8Botnet) }
+func BenchmarkE8Botnet(b *testing.B) { benchRegistry(b, "E8") }
 
-func BenchmarkE9Stability(b *testing.B) { benchExperiment(b, exp.E9Stability) }
+func BenchmarkE9Stability(b *testing.B) { benchRegistry(b, "E9") }
 
 // BenchmarkTable3Cipher/<name> measures each Table III algorithm's block
 // throughput individually (the table's software metric at testing.B

@@ -2,8 +2,16 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"xlf/internal/exp"
 )
 
-func main() { fmt.Println(exp.E9Stability(1)) }
+func main() {
+	e, ok := exp.Lookup("E9")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "probe: registry lost E9")
+		os.Exit(1)
+	}
+	fmt.Println(e.Run(exp.NewEnv(1)))
+}

@@ -201,8 +201,10 @@ func TestRepoCleanUnderAllRules(t *testing.T) {
 		t.Error(f)
 	}
 	// The baseline must not rot: every waiver still matches a finding.
-	if want := len(findings) - len(kept); suppressed != want || suppressed != 7 {
-		t.Errorf("baseline suppressed %d finding(s), want 7; stale entries must be pruned", suppressed)
+	// (The count dropped from 7 when the pooled kernel made netsim's Send
+	// allocation-free and its tracking waiver was retired.)
+	if want := len(findings) - len(kept); suppressed != want || suppressed != 6 {
+		t.Errorf("baseline suppressed %d finding(s), want 6; stale entries must be pruned", suppressed)
 	}
 }
 

@@ -97,6 +97,7 @@ var XLFLayerTable = map[string][]string{
 
 	"examples/botnet":         {".", "internal/attack", "internal/netsim", "internal/service"},
 	"examples/quickstart":     {".", "internal/attack", "internal/service"},
+	"examples/smartcity":      {"internal/testbed"},
 	"examples/smarthome":      {".", "internal/analytics", "internal/attack", "internal/service"},
 	"examples/trafficprivacy": {"internal/netsim", "internal/shaping", "internal/sim"},
 }

@@ -212,14 +212,6 @@ func (c *Core) Stats() CoreStats {
 	}
 }
 
-// LegacyStats returns (signalsIngested, signalsFilteredOut).
-//
-// Deprecated: use Stats, which also reports alert and containment counts.
-func (c *Core) LegacyStats() (uint64, uint64) {
-	s := c.Stats()
-	return s.Ingested, s.Dropped
-}
-
 // Metrics exposes the runtime metrics registry backing the Core's
 // counters, for snapshotting alongside trace exports.
 func (c *Core) Metrics() *obs.Registry { return c.reg }

@@ -154,7 +154,7 @@ func TestLayerAblation(t *testing.T) {
 }
 
 // TestStatsCounters pins the CoreStats fields (backed by the obs metrics
-// registry) and the deprecated LegacyStats wrapper.
+// registry).
 func TestStatsCounters(t *testing.T) {
 	c := New(DefaultConfig(), Containment{BlockDevice: func(string) {}})
 	c.Ingest(sig(time.Second, Network, "cam-1", "scan", 0.3))     // ingested, no alert
@@ -163,10 +163,6 @@ func TestStatsCounters(t *testing.T) {
 	want := CoreStats{Ingested: 2, Dropped: 0, Alerts: 1, Contained: 1}
 	if st != want {
 		t.Errorf("Stats() = %+v, want %+v", st, want)
-	}
-	in, dropped := c.LegacyStats()
-	if in != st.Ingested || dropped != st.Dropped {
-		t.Errorf("LegacyStats() = %d/%d, want %d/%d", in, dropped, st.Ingested, st.Dropped)
 	}
 	snap := c.Metrics().Snapshot()
 	byName := make(map[string]uint64)

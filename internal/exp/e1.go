@@ -11,21 +11,13 @@ import (
 	"xlf/internal/service"
 )
 
-// E1CrossLayer is the paper's central claim made measurable: on an
+// runE1 is the paper's central claim made measurable: on an
 // identical labelled campaign (benign background + five concurrent
 // attacks), per-device detection F1 for the device-only, network-only and
 // service-only ablations versus the full cross-layer XLF Core, plus a
 // no-corroboration-bonus ablation of the correlation window.
 //
-// Deprecated: resolve the "E1" registry entry instead.
-func E1CrossLayer(seed int64) *Result { return E1CrossLayerEnv(NewEnv(seed)) }
-
-// E1CrossLayerEnv is E1CrossLayer under an explicit environment.
-//
-// Deprecated: resolve the "E1" registry entry instead.
-func E1CrossLayerEnv(env *Env) *Result { return runE1(env) }
-
-// runE1 is the E1 registry entry. Both ablation grids — the layer configs
+// It is the E1 registry entry. Both ablation grids — the layer configs
 // and the correlation windows — are independent sweep points (each builds
 // its own system from the seed), so they fan out across env.Workers.
 func runE1(env *Env) *Result {

@@ -10,20 +10,12 @@ import (
 	"xlf/internal/sim"
 )
 
-// E2Shaping sweeps traffic-shaping intensity and reports the passive
+// runE2 sweeps traffic-shaping intensity and reports the passive
 // adversary's device-identification confidence and event-inference
 // precision/recall against the bandwidth overhead and added latency — the
 // §IV-B1 trade-off curve.
 //
-// Deprecated: resolve the "E2" registry entry instead.
-func E2Shaping(seed int64) *Result { return E2ShapingEnv(NewEnv(seed)) }
-
-// E2ShapingEnv is E2Shaping under an explicit environment.
-//
-// Deprecated: resolve the "E2" registry entry instead.
-func E2ShapingEnv(env *Env) *Result { return runE2(env) }
-
-// runE2 is the E2 registry entry. Each intensity level builds its own
+// It is the E2 registry entry. Each intensity level builds its own
 // simulated home from the seed, so the grid fans out across env.Workers.
 func runE2(env *Env) *Result {
 	r := &Result{ID: "E2", Title: "Traffic shaping: adversary confidence vs bandwidth overhead"}

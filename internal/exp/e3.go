@@ -10,20 +10,13 @@ import (
 	"xlf/internal/xauth"
 )
 
-// E3Auth compares the Barreto et al. baseline (cloud round trips for basic
+// runE3 compares the Barreto et al. baseline (cloud round trips for basic
 // users; redirect + on-device SSO for advanced users) with XLF's
 // delegation proxy across a scaling request mix, reporting mean and p95
 // authentication latency and the on-device cost the baseline imposes on a
 // constrained (Table I bulb-class) device.
-// Deprecated: resolve the "E3" registry entry instead.
-func E3Auth(seed int64) *Result { return E3AuthEnv(NewEnv(seed)) }
-
-// E3AuthEnv is E3Auth under an explicit environment.
 //
-// Deprecated: resolve the "E3" registry entry instead.
-func E3AuthEnv(env *Env) *Result { return runE3(env) }
-
-// runE3 is the E3 registry entry. The request mixes share one RNG stream
+// It is the E3 registry entry. The request mixes share one RNG stream
 // (each load level continues where the last left off), so this experiment
 // stays sequential internally.
 func runE3(env *Env) *Result {

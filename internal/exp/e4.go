@@ -7,19 +7,12 @@ import (
 	"xlf/internal/metrics"
 )
 
-// E4DPI measures the price of privacy-preserving traffic monitoring:
+// runE4 measures the price of privacy-preserving traffic monitoring:
 // matching throughput of plaintext Aho-Corasick versus BlindBox-style
 // searchable-encryption token matching over the same payload corpus, plus
 // detection equivalence between the two paths.
-// Deprecated: resolve the "E4" registry entry instead.
-func E4DPI(seed int64) *Result { return E4DPIEnv(NewEnv(seed)) }
-
-// E4DPIEnv is E4DPI under an explicit environment.
 //
-// Deprecated: resolve the "E4" registry entry instead.
-func E4DPIEnv(env *Env) *Result { return runE4(env) }
-
-// runE4 is the E4 registry entry; all three matching stages are timed on
+// It is the E4 registry entry; all three matching stages are timed on
 // env.Clock, so the stages stay sequential (they share the clock).
 func runE4(env *Env) *Result {
 	r := &Result{ID: "E4", Title: "Encrypted DPI: plaintext vs searchable-encryption matching"}

@@ -8,20 +8,13 @@ import (
 	"xlf/internal/metrics"
 )
 
-// E5Behavior evaluates the HoMonit-style pipeline end to end: packet-size
+// runE5 evaluates the HoMonit-style pipeline end to end: packet-size
 // fingerprints classified under increasing radio noise, recovered events
 // fed through the per-device DFA, and spoof-detection F1 as the outcome.
 // The edit-distance threshold is swept as the ablation DESIGN.md calls
 // out.
-// Deprecated: resolve the "E5" registry entry instead.
-func E5Behavior(seed int64) *Result { return E5BehaviorEnv(NewEnv(seed)) }
-
-// E5BehaviorEnv is E5Behavior under an explicit environment.
 //
-// Deprecated: resolve the "E5" registry entry instead.
-func E5BehaviorEnv(env *Env) *Result { return runE5(env) }
-
-// runE5 is the E5 registry entry. The noise × threshold grid is flattened
+// It is the E5 registry entry. The noise × threshold grid is flattened
 // into independent sweep points (each restarts the seed's RNG stream), so
 // it fans out across env.Workers.
 func runE5(env *Env) *Result {

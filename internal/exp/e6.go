@@ -8,19 +8,12 @@ import (
 	"xlf/internal/ml"
 )
 
-// E6Learning evaluates the XLF Core's two learning modules (§IV-D):
+// runE6 evaluates the XLF Core's two learning modules (§IV-D):
 // multi-kernel learning fusing per-layer features (each single kernel vs
 // uniform vs alignment-learned weights), and graph-based community
 // detection over device-behaviour similarity with outlier identification.
-// Deprecated: resolve the "E6" registry entry instead.
-func E6Learning(seed int64) *Result { return E6LearningEnv(NewEnv(seed)) }
-
-// E6LearningEnv is E6Learning under an explicit environment.
 //
-// Deprecated: resolve the "E6" registry entry instead.
-func E6LearningEnv(env *Env) *Result { return runE6(env) }
-
-// runE6 is the E6 registry entry. Train/test/graph data draw from one
+// It is the E6 registry entry. Train/test/graph data draw from one
 // continuous RNG stream, so the experiment stays sequential internally.
 func runE6(env *Env) *Result {
 	r := &Result{ID: "E6", Title: "Core learning: MKL fusion and graph community detection"}

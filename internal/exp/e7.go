@@ -13,20 +13,13 @@ import (
 	"xlf/internal/sim"
 )
 
-// E7DNS compares the three DNS modes of §IV-A3 on the same home: cleartext
+// runE7 compares the three DNS modes of §IV-A3 on the same home: cleartext
 // DNS, end-to-end DoT, and the XLF lightweight bridge. It reports query
 // latency, name exposure to observers, off-path poisoning success, and the
 // device-side crypto cost on a Table I bulb-class device (the feasibility
 // argument for the bridge).
-// Deprecated: resolve the "E7" registry entry instead.
-func E7DNS(seed int64) *Result { return E7DNSEnv(NewEnv(seed)) }
-
-// E7DNSEnv is E7DNS under an explicit environment.
 //
-// Deprecated: resolve the "E7" registry entry instead.
-func E7DNSEnv(env *Env) *Result { return runE7(env) }
-
-// runE7 is the E7 registry entry. Each DNS mode simulates its own home
+// It is the E7 registry entry. Each DNS mode simulates its own home
 // from the seed, so the three modes fan out across env.Workers.
 func runE7(env *Env) *Result {
 	r := &Result{ID: "E7", Title: "DNS privacy: plain vs DoT vs XLF lightweight bridge"}

@@ -10,19 +10,12 @@ import (
 	"xlf/internal/netsim"
 )
 
-// E8Botnet runs the full Mirai-style campaign (recruitment -> beaconing ->
+// runE8 runs the full Mirai-style campaign (recruitment -> beaconing ->
 // DDoS) against the unprotected home and the XLF home, reporting time to
 // detection, time to containment, C&C beacons escaped, and flood packets
 // delivered to the victim — §III-B's "army" threat end to end.
-// Deprecated: resolve the "E8" registry entry instead.
-func E8Botnet(seed int64) *Result { return E8BotnetEnv(NewEnv(seed)) }
-
-// E8BotnetEnv is E8Botnet under an explicit environment.
 //
-// Deprecated: resolve the "E8" registry entry instead.
-func E8BotnetEnv(env *Env) *Result { return runE8(env) }
-
-// runE8 is the E8 registry entry. The unprotected and protected homes are
+// It is the E8 registry entry. The unprotected and protected homes are
 // independent simulations of the same seed, so both run as sweep points.
 func runE8(env *Env) *Result {
 	r := &Result{ID: "E8", Title: "Botnet campaign: unprotected vs XLF (containment timeline)"}

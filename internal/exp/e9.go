@@ -12,20 +12,13 @@ import (
 	"xlf/internal/testbed"
 )
 
-// E9Stability runs a multi-day simulated household under the full XLF
+// runE9 runs a multi-day simulated household under the full XLF
 // stack: a realistic diurnal benign workload, with one attack campaign
 // injected midway. It reports the operational numbers a deployment would
 // be judged by — false alerts per benign device-day, detection and
 // containment latency for the campaign, and alert volume.
-// Deprecated: resolve the "E9" registry entry instead.
-func E9Stability(seed int64) *Result { return E9StabilityEnv(NewEnv(seed)) }
-
-// E9StabilityEnv is E9Stability under an explicit environment.
 //
-// Deprecated: resolve the "E9" registry entry instead.
-func E9StabilityEnv(env *Env) *Result { return runE9(env) }
-
-// runE9 is the E9 registry entry. The energy variant is an independent
+// It is the E9 registry entry. The energy variant is an independent
 // simulation of the same seed, so it runs as a concurrent sweep point
 // alongside the main detection horizon.
 func runE9(env *Env) *Result {

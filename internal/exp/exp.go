@@ -1,6 +1,6 @@
 // Package exp contains the reproduction experiments: the regeneration of
 // every table and figure in the paper (T1-T3, F1-F4) and the quantitative
-// experiments the paper motivates but does not report (E1-E8; see
+// experiments the paper motivates but does not report (E1-E10; see
 // DESIGN.md's per-experiment index). Each experiment is a pure function of
 // its seed, shared between cmd/xlf-bench and the root benchmarks.
 package exp

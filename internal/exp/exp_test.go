@@ -10,7 +10,7 @@ import (
 // numbers (per the reproduction contract in DESIGN.md).
 
 func TestTable1Shape(t *testing.T) {
-	r := Table1(1)
+	r := mustLookup(t, "T1").Run(NewEnv(1))
 	if r.Numbers["rows"] != 20 {
 		t.Errorf("rows = %v, want 20", r.Numbers["rows"])
 	}
@@ -24,7 +24,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	r := Table2(1)
+	r := mustLookup(t, "T2").Run(NewEnv(1))
 	if r.Numbers["vulnerable_successes"] != 7 {
 		t.Errorf("vulnerable successes = %v, want 7", r.Numbers["vulnerable_successes"])
 	}
@@ -41,7 +41,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	r := Table3()
+	r := mustLookup(t, "T3").Run(NewEnv(1))
 	if r.Numbers["algorithms"] != 16 {
 		t.Errorf("algorithms = %v, want 16 (Table III rows)", r.Numbers["algorithms"])
 	}
@@ -77,7 +77,7 @@ func TestFiguresRender(t *testing.T) {
 }
 
 func TestE1CrossLayerDominates(t *testing.T) {
-	r := E1CrossLayer(1)
+	r := mustLookup(t, "E1").Run(NewEnv(1))
 	full := r.Numbers["f1_xlf-full"]
 	for _, single := range []string{"device-only", "network-only", "service-only"} {
 		if full <= r.Numbers["f1_"+single] {
@@ -108,7 +108,7 @@ func TestE1RobustAcrossSeeds(t *testing.T) {
 		t.Skip("multi-seed sweep in -short mode")
 	}
 	for _, seed := range []int64{2, 5, 11} {
-		r := E1CrossLayer(seed)
+		r := mustLookup(t, "E1").Run(NewEnv(seed))
 		full := r.Numbers["f1_xlf-full"]
 		for _, single := range []string{"device-only", "network-only", "service-only"} {
 			if full <= r.Numbers["f1_"+single] {
@@ -122,7 +122,7 @@ func TestE1RobustAcrossSeeds(t *testing.T) {
 }
 
 func TestE2ShapingTradeoff(t *testing.T) {
-	r := E2Shaping(1)
+	r := mustLookup(t, "E2").Run(NewEnv(1))
 	// Without shaping the adversary wins outright.
 	if r.Numbers["recall_0.00"] < 0.99 || r.Numbers["ident_0.00"] < 0.8 {
 		t.Errorf("unshaped adversary too weak: recall=%v ident=%v",
@@ -143,7 +143,7 @@ func TestE2ShapingTradeoff(t *testing.T) {
 }
 
 func TestE3ProxyBeatsBaseline(t *testing.T) {
-	r := E3Auth(1)
+	r := mustLookup(t, "E3").Run(NewEnv(1))
 	if r.Numbers["proxy_mean_ms"] >= r.Numbers["baseline_mean_ms"] {
 		t.Errorf("proxy (%vms) not faster than baseline (%vms)",
 			r.Numbers["proxy_mean_ms"], r.Numbers["baseline_mean_ms"])
@@ -156,7 +156,7 @@ func TestE3ProxyBeatsBaseline(t *testing.T) {
 }
 
 func TestE4EncryptedDPIEquivalent(t *testing.T) {
-	r := E4DPI(1)
+	r := mustLookup(t, "E4").Run(NewEnv(1))
 	if r.Numbers["equal_detections"] != 1 {
 		t.Error("encrypted and plaintext paths disagree on detections")
 	}
@@ -170,7 +170,7 @@ func TestE4EncryptedDPIEquivalent(t *testing.T) {
 }
 
 func TestE5NoiseDegradesGracefully(t *testing.T) {
-	r := E5Behavior(1)
+	r := mustLookup(t, "E5").Run(NewEnv(1))
 	if r.Numbers["f1_noise_0.00"] < 0.99 {
 		t.Errorf("clean F1 = %v, want 1.0", r.Numbers["f1_noise_0.00"])
 	}
@@ -183,7 +183,7 @@ func TestE5NoiseDegradesGracefully(t *testing.T) {
 }
 
 func TestE6FusionWins(t *testing.T) {
-	r := E6Learning(1)
+	r := mustLookup(t, "E6").Run(NewEnv(1))
 	best := 0.0
 	for _, k := range []string{"device-rbf", "network-rbf", "event-spectrum"} {
 		if r.Numbers["acc_"+k] > best {
@@ -202,7 +202,7 @@ func TestE6FusionWins(t *testing.T) {
 }
 
 func TestE7BridgeProperties(t *testing.T) {
-	r := E7DNS(1)
+	r := mustLookup(t, "E7").Run(NewEnv(1))
 	// Cleartext leaks and is poisonable.
 	if r.Numbers["visible_DNS"] == 0 || r.Numbers["poisoned_DNS"] != 1 {
 		t.Errorf("cleartext DNS: visible=%v poisoned=%v", r.Numbers["visible_DNS"], r.Numbers["poisoned_DNS"])
@@ -224,7 +224,7 @@ func TestE7BridgeProperties(t *testing.T) {
 }
 
 func TestE8ContainmentStopsTheCampaign(t *testing.T) {
-	r := E8Botnet(1)
+	r := mustLookup(t, "E8").Run(NewEnv(1))
 	if r.Numbers["base_beacons"] == 0 || r.Numbers["base_flood"] == 0 {
 		t.Error("unprotected campaign produced no traffic")
 	}
@@ -237,7 +237,7 @@ func TestE8ContainmentStopsTheCampaign(t *testing.T) {
 }
 
 func TestE9StabilityShape(t *testing.T) {
-	r := E9Stability(1)
+	r := mustLookup(t, "E9").Run(NewEnv(1))
 	if r.Numbers["false_per_device_day"] > 0.05 {
 		t.Errorf("false alerts per benign device-day = %v, want ~0", r.Numbers["false_per_device_day"])
 	}
@@ -254,11 +254,11 @@ func TestAllAndRender(t *testing.T) {
 		t.Skip("full experiment suite in -short mode")
 	}
 	results := All(1)
-	if len(results) != 16 {
-		t.Fatalf("All returned %d results, want 16", len(results))
+	if len(results) != 17 {
+		t.Fatalf("All returned %d results, want 17", len(results))
 	}
 	out := Render(results)
-	for _, id := range []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	for _, id := range []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 		if !strings.Contains(out, "==== "+id+":") {
 			t.Errorf("render missing %s", id)
 		}

@@ -8,7 +8,7 @@ import "strings"
 // contract), so the scheduler may execute entries in any order and at any
 // parallelism.
 type Experiment struct {
-	// ID is the report identifier: "T1"-"T3", "F1"-"F4", "E1"-"E9".
+	// ID is the report identifier: "T1"-"T3", "F1"-"F4", "E1"-"E10".
 	ID string
 	// Title matches the Result.Title the run renders.
 	Title string
@@ -56,6 +56,7 @@ var registry = []Experiment{
 	{ID: "E7", Title: "DNS privacy: plain vs DoT vs XLF lightweight bridge", Run: runE7},
 	{ID: "E8", Title: "Botnet campaign: unprotected vs XLF (containment timeline)", Run: runE8},
 	{ID: "E9", Title: "Long-horizon stability: 3-day household, one campaign", Run: runE9},
+	{ID: "E10", Title: "Smart-city scale: one kernel, 10^3..5*10^4 devices", Run: runE10},
 }
 
 // Registry returns the experiment descriptors in report order. The slice

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"xlf/internal/metrics"
+	"xlf/internal/testbed"
+)
+
+// runE10 is the kernel scale experiment behind ROADMAP item 1: the
+// smart-city fleet (testbed.City) at increasing device counts on one
+// simulation kernel, reporting dispatch volume and sustained event
+// throughput. The registry sweep stops at 50k devices so the full suite
+// stays fast under -race; examples/smartcity runs the same scenario at
+// one million devices.
+//
+// It is the E10 registry entry. Each scale point builds its own city from
+// the seed, so the grid fans out across env.Workers; throughput is timed
+// on env.Clock, and the rendered columns are simulation counts only, so
+// the table replays byte-identically under a step clock.
+func runE10(env *Env) *Result {
+	r := &Result{ID: "E10", Title: "Smart-city scale: one kernel, 10^3..5*10^4 devices"}
+	t := metrics.NewTable("", "Devices", "Districts", "Reports", "Delivered", "KernelEvents", "SimTime")
+
+	scales := []int{1000, 10000, 50000}
+	type point struct {
+		st           testbed.CityStats
+		eventsPerSec float64
+	}
+	rows := Sweep(env, len(scales), func(i int, env *Env) point {
+		city, err := testbed.NewCity(testbed.CityConfig{
+			Seed:        env.Seed,
+			Devices:     scales[i],
+			ReportEvery: 10 * time.Second,
+			Horizon:     60 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+		start := env.Clock()
+		st, err := city.Run()
+		if err != nil {
+			panic(err)
+		}
+		elapsed := env.Clock() - start
+		p := point{st: st}
+		if elapsed > 0 {
+			p.eventsPerSec = float64(st.Events) / elapsed.Seconds()
+		}
+		return p
+	})
+
+	var events uint64
+	for i, scale := range scales {
+		st := rows[i].st
+		if st.Dropped != 0 || st.Sent == 0 {
+			panic(fmt.Sprintf("exp: E10 scale %d lost reports: %+v", scale, st))
+		}
+		events += st.Events
+		t.AddRow(
+			fmt.Sprintf("%d", st.Devices),
+			fmt.Sprintf("%d", st.Districts),
+			fmt.Sprintf("%d", st.Sent),
+			fmt.Sprintf("%d", st.Delivered),
+			fmt.Sprintf("%d", st.Events),
+			st.Now.String(),
+		)
+	}
+
+	r.Output = t.String()
+	r.num("scales", float64(len(scales)))
+	r.num("devices_max", float64(scales[len(scales)-1]))
+	r.num("events_total", float64(events))
+	// Host-dependent: excluded from Output so reports stay byte-identical.
+	r.num("events_per_sec_max_scale", rows[len(rows)-1].eventsPerSec)
+	return r
+}

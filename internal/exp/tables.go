@@ -15,21 +15,13 @@ import (
 	"xlf/internal/testbed"
 )
 
-// Table1 regenerates the paper's Table I and extends it with the
+// runTable1 regenerates the paper's Table I and extends it with the
 // feasibility analysis the table exists to support: per device, the
 // cheapest Table III cipher that fits, and modeled AES-128 software time —
 // computation, storage and power "limit the security functions that can be
 // implemented on the device".
 //
-// Deprecated: resolve the "T1" registry entry instead.
-func Table1(seed int64) *Result { return Table1Env(NewEnv(seed)) }
-
-// Table1Env is Table1 under an explicit environment.
-//
-// Deprecated: resolve the "T1" registry entry instead.
-func Table1Env(env *Env) *Result { return runTable1(env) }
-
-// runTable1 is the T1 registry entry.
+// It is the T1 registry entry.
 func runTable1(env *Env) *Result {
 	r := &Result{ID: "T1", Title: "Device-layer components (paper Table I) + crypto feasibility"}
 	reg := lwc.NewRegistry()
@@ -122,20 +114,12 @@ func memShort(v int64) string {
 	}
 }
 
-// Table2 regenerates Table II by *executing* each attack three ways —
+// runTable2 regenerates Table II by *executing* each attack three ways —
 // against the vulnerable home, against the hardened platform (signed OTA,
 // fine-grained grants, signed events), and under the full XLF runtime —
 // reporting the paper's triple plus each outcome.
 //
-// Deprecated: resolve the "T2" registry entry instead.
-func Table2(seed int64) *Result { return Table2Env(NewEnv(seed)) }
-
-// Table2Env is Table2 under an explicit environment.
-//
-// Deprecated: resolve the "T2" registry entry instead.
-func Table2Env(env *Env) *Result { return runTable2(env) }
-
-// runTable2 is the T2 registry entry. Each attack's three-way execution
+// It is the T2 registry entry. Each attack's three-way execution
 // (vulnerable home, hardened platform, full XLF) is an independent sweep
 // point, so the row grid fans out across the env's worker budget.
 func runTable2(env *Env) *Result {
@@ -249,20 +233,12 @@ func outcome(res attack.Result) string {
 	return "blocked"
 }
 
-// Table3 regenerates Table III from the cipher registry and adds measured
+// runTable3 regenerates Table III from the cipher registry and adds measured
 // software throughput for each algorithm (the NIST IR 8114 software
 // metric), which the device cost model consumes.
 //
-// Deprecated: resolve the "T3" registry entry instead.
-func Table3() *Result { return Table3Env(NewEnv(1)) }
-
-// Table3Env is Table3 under an explicit environment; the throughput
-// column is timed on env.Clock.
-//
-// Deprecated: resolve the "T3" registry entry instead.
-func Table3Env(env *Env) *Result { return runTable3(env) }
-
-// runTable3 is the T3 registry entry.
+// It is the T3 registry entry; the throughput column is timed on
+// env.Clock.
 func runTable3(env *Env) *Result {
 	r := &Result{ID: "T3", Title: "Lightweight cryptographic algorithms (paper Table III), measured"}
 	reg := lwc.NewRegistry()

@@ -232,10 +232,11 @@ func lanDevice(pkt *Packet) string {
 
 // Send queues a packet for delivery. Latency, serialisation delay, jitter
 // and loss come from the sender's and receiver's links. Packets to unknown
-// addresses are counted as drops. The per-packet cost is one Event: the
-// delivery dispatch reuses n.deliverArg instead of capturing pkt in a
-// fresh closure, and the event name is a constant (the destination is on
-// the packet for anyone who needs it).
+// addresses are counted as drops. Send allocates nothing: the delivery
+// event comes from the kernel's pooled slab, the dispatch reuses
+// n.deliverArg instead of capturing pkt in a fresh closure, and the event
+// name is a constant (the destination is on the packet for anyone who
+// needs it).
 //
 //xlf:hotpath
 func (n *Network) Send(pkt *Packet) {

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // raceEnabled is flipped by alloc_race_test.go: the race runtime
 // instruments allocations, so byte-exact AllocsPerRun guards only run
@@ -32,5 +35,24 @@ func TestStepAllocFree(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("Step allocates %.1f per dispatch pair, want 0", n)
+	}
+}
+
+// BenchmarkKernelDispatch measures the full schedule→dispatch→recycle
+// cycle on a warm kernel and must report 0 allocs/op: the event comes
+// from the slot freelist, the wheel buckets and batch reuse their backing
+// arrays, and the Handle is a value. scripts/bench-compare gates it
+// against bench/seed.
+func BenchmarkKernelDispatch(b *testing.B) {
+	k := NewKernel(1)
+	noopArg := func(any) {}
+	var payload int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ScheduleArg(time.Duration(i%1000), "bench", noopArg, &payload)
+		if !k.Step() {
+			b.Fatal("queue drained early")
+		}
 	}
 }

@@ -51,7 +51,7 @@ func TestCancellationProperty(t *testing.T) {
 			n = 100
 		}
 		ran := make([]bool, n)
-		events := make([]*Event, n)
+		events := make([]Handle, n)
 		for i := 0; i < n; i++ {
 			i := i
 			events[i] = k.Schedule(time.Duration(delays[i])*time.Millisecond, "e", func() {

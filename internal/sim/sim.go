@@ -5,10 +5,17 @@
 // whole smart-home scenario — including attacks and detections — replays
 // bit-identically from a seed. Time is modeled as a time.Duration offset
 // from the simulation epoch.
+//
+// The kernel is built for scale (DESIGN.md §12): events live in a pooled
+// slab indexed by a hierarchical timer wheel, so the schedule→dispatch→
+// recycle cycle is allocation-free in steady state and a single kernel
+// sustains millions of concurrent timers. Schedule calls hand back a
+// value-type Handle whose Cancel/Canceled are generation-checked against
+// the pool slot; holding a pointer into the pool would be unsound once
+// the slot is recycled.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,67 +24,54 @@ import (
 	"xlf/internal/obs"
 )
 
-// Event is a scheduled callback. Events run in timestamp order; ties are
-// broken by scheduling order so runs are deterministic. Exactly one of
-// Fn and FnArg is set: FnArg events (from ScheduleArg) carry their
-// argument in Arg, so high-rate callers can reuse one function value
-// instead of allocating a capturing closure per event.
-type Event struct {
-	At   time.Duration
-	Name string
-	Fn   func()
-
-	// FnArg, when non-nil, is dispatched as FnArg(Arg) instead of Fn().
-	FnArg func(any)
-	Arg   any
-
-	seq      uint64
-	canceled bool
-	index    int
+// Handle identifies a scheduled event without pointing into the event
+// pool. It is a small value type: copy it freely, keep it in structs,
+// compare it against the zero Handle (which refers to nothing and is
+// safe to Cancel). Once the event has executed or been recycled the
+// handle goes stale — Cancel becomes a no-op and Canceled reports false
+// — enforced by a per-slot generation counter, so a stale handle can
+// never touch a recycled slot's new occupant.
+type Handle struct {
+	k    *Kernel
+	slot int32
+	gen  uint32
 }
 
 // Cancel marks the event so the kernel skips it when its time arrives.
-// Canceling an already-executed event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// Canceling an already-executed event, or the zero Handle, is a no-op.
+func (h Handle) Cancel() {
+	if h.k == nil || int(h.slot) >= len(h.k.slots) {
+		return
 	}
-}
-
-// Canceled reports whether Cancel has been called on the event.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+	e := &h.k.slots[h.slot]
+	if e.gen != h.gen {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e.canceled = true
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Canceled reports whether Cancel has been called on the event the
+// handle refers to. It reports false once the event has executed or
+// been recycled (the handle is stale), and for the zero Handle.
+func (h Handle) Canceled() bool {
+	if h.k == nil || int(h.slot) >= len(h.k.slots) {
+		return false
+	}
+	e := &h.k.slots[h.slot]
+	return e.gen == h.gen && e.canceled
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// At returns the event's scheduled time. ok is false when the handle is
+// stale (the event already executed or was recycled) or zero.
+func (h Handle) At() (at time.Duration, ok bool) {
+	if h.k == nil || int(h.slot) >= len(h.k.slots) {
+		return 0, false
+	}
+	e := &h.k.slots[h.slot]
+	if e.gen != h.gen {
+		return 0, false
+	}
+	return e.at, true
 }
 
 // ErrStopped is returned by Run when StopNow interrupted the event loop.
@@ -88,18 +82,21 @@ var ErrStopped = errors.New("sim: kernel stopped")
 // model is strictly sequential, which is what makes runs reproducible.
 type Kernel struct {
 	now     time.Duration
-	queue   eventQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	ran     uint64
+	pending int
 	tracer  *obs.Tracer
+	wheel
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 // The same seed and the same scheduling sequence yield identical runs.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k := &Kernel{rng: rand.New(rand.NewSource(seed))}
+	k.wheel.init()
+	return k
 }
 
 // Now returns the current simulated time as an offset from the epoch.
@@ -112,7 +109,7 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Pending returns the number of events waiting in the queue, including
 // canceled events that have not yet been discarded.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.pending }
 
 // Processed returns how many events have executed since the kernel was
 // created.
@@ -124,8 +121,8 @@ func (k *Kernel) Processed() uint64 { return k.ran }
 func (k *Kernel) SetTracer(t *obs.Tracer) { k.tracer = t }
 
 // Schedule queues fn to run after delay (relative to Now). A negative delay
-// is treated as zero. The returned Event may be used to cancel the call.
-func (k *Kernel) Schedule(delay time.Duration, name string, fn func()) *Event {
+// is treated as zero. The returned Handle may be used to cancel the call.
+func (k *Kernel) Schedule(delay time.Duration, name string, fn func()) Handle {
 	if delay < 0 {
 		delay = 0
 	}
@@ -134,7 +131,7 @@ func (k *Kernel) Schedule(delay time.Duration, name string, fn func()) *Event {
 
 // ScheduleAt queues fn to run at absolute simulated time at. Times in the
 // past are clamped to Now.
-func (k *Kernel) ScheduleAt(at time.Duration, name string, fn func()) *Event {
+func (k *Kernel) ScheduleAt(at time.Duration, name string, fn func()) Handle {
 	if fn == nil {
 		panic("sim: ScheduleAt called with nil fn")
 	}
@@ -142,16 +139,22 @@ func (k *Kernel) ScheduleAt(at time.Duration, name string, fn func()) *Event {
 		at = k.now
 	}
 	k.seq++
-	e := &Event{At: at, Name: name, Fn: fn, seq: k.seq}
-	heap.Push(&k.queue, e)
-	return e
+	s := k.alloc()
+	e := &k.slots[s]
+	e.at, e.name, e.fn, e.seq = at, name, fn, k.seq
+	k.enqueue(s)
+	k.pending++
+	return Handle{k: k, slot: s, gen: e.gen}
 }
 
 // ScheduleArg queues fn(arg) to run after delay. It is the zero-closure
-// variant of Schedule for per-packet/per-event hot paths: the caller
-// keeps one long-lived fn and threads the payload through arg, so the
-// only allocation per call is the Event itself.
-func (k *Kernel) ScheduleArg(delay time.Duration, name string, fn func(any), arg any) *Event {
+// variant of Schedule for per-packet/per-event hot paths: the caller keeps
+// one long-lived fn and threads the payload through arg. With the pooled
+// event slab the whole schedule→dispatch→recycle cycle allocates nothing
+// in steady state (the slab itself grows amortized to peak backlog).
+//
+//xlf:hotpath
+func (k *Kernel) ScheduleArg(delay time.Duration, name string, fn func(any), arg any) Handle {
 	if fn == nil {
 		panic("sim: ScheduleArg called with nil fn")
 	}
@@ -160,37 +163,53 @@ func (k *Kernel) ScheduleArg(delay time.Duration, name string, fn func(any), arg
 	}
 	at := k.now + delay
 	k.seq++
-	e := &Event{At: at, Name: name, FnArg: fn, Arg: arg, seq: k.seq}
-	heap.Push(&k.queue, e)
-	return e
+	s := k.alloc()
+	e := &k.slots[s]
+	e.at, e.name, e.fnArg, e.arg, e.seq = at, name, fn, arg, k.seq
+	k.enqueue(s)
+	k.pending++
+	return Handle{k: k, slot: s, gen: e.gen}
 }
 
 // StopNow aborts the current Run after the in-flight event returns.
 func (k *Kernel) StopNow() { k.stopped = true }
 
 // Step executes the single earliest pending event, skipping canceled ones.
-// It reports whether an event was executed.
+// It reports whether an event was executed. Same-timestamp events are
+// drained from a presorted batch, so a burst of N simultaneous events
+// costs one wheel access, not N heap operations.
 //
 //xlf:hotpath
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
+	for {
+		if k.batchIdx >= len(k.batch) {
+			if !k.prepare(^uint64(0)) {
+				return false
+			}
+		}
+		s := k.batch[k.batchIdx]
+		k.batchIdx++
+		e := &k.slots[s]
 		if e.canceled {
+			k.pending--
+			k.recycle(s)
 			continue
 		}
-		k.now = e.At
+		k.now = e.at
 		k.ran++
+		k.pending--
+		fn, fnArg, arg, name := e.fn, e.fnArg, e.arg, e.name
+		k.recycle(s)
 		if k.tracer != nil {
-			k.tracer.EmitAt(e.At, obs.LayerSim, "event", "", e.Name)
+			k.tracer.EmitAt(k.now, obs.LayerSim, "event", "", name)
 		}
-		if e.FnArg != nil {
-			e.FnArg(e.Arg)
+		if fnArg != nil {
+			fnArg(arg)
 		} else {
-			e.Fn()
+			fn()
 		}
 		return true
 	}
-	return false
 }
 
 // Run executes events in order until the queue is empty or simulated time
@@ -199,31 +218,37 @@ func (k *Kernel) Step() bool {
 // Run returns ErrStopped if StopNow was called during an event.
 func (k *Kernel) Run(until time.Duration) error {
 	k.stopped = false
-	for len(k.queue) > 0 {
+	if until < k.now {
+		return nil
+	}
+	limit := uint64(until)
+	for {
 		if k.stopped {
 			return ErrStopped
 		}
-		next := k.queue[0]
-		if next.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		if next.At > until {
-			k.now = until
+		if !k.prepare(limit) {
+			if k.now < until {
+				k.now = until
+			}
 			return nil
+		}
+		s := k.batch[k.batchIdx]
+		if k.slots[s].canceled {
+			k.batchIdx++
+			k.pending--
+			k.recycle(s)
+			continue
 		}
 		k.Step()
 	}
-	if k.now < until {
-		k.now = until
-	}
-	return nil
 }
 
 // RunAll executes every pending event regardless of horizon. maxEvents
 // bounds runaway self-rescheduling loops; it returns an error when the
-// bound is hit.
+// bound is hit. Like Run, it clears the effect of a previous StopNow
+// before entering the loop.
 func (k *Kernel) RunAll(maxEvents int) error {
+	k.stopped = false
 	for i := 0; ; i++ {
 		if i >= maxEvents {
 			return fmt.Errorf("sim: RunAll exceeded %d events at t=%s", maxEvents, k.now)
@@ -246,6 +271,19 @@ func (k *Kernel) Every(interval, jitter time.Duration, name string, fn func()) *
 		panic("sim: Every requires a positive interval")
 	}
 	t := &Ticker{kernel: k, interval: interval, jitter: jitter, name: name, fn: fn}
+	// One closure per ticker, built once: each firing re-arms with the
+	// same function value, so a long-lived periodic source costs only
+	// its pooled event per period.
+	t.fire = func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -257,7 +295,8 @@ type Ticker struct {
 	jitter   time.Duration
 	name     string
 	fn       func()
-	pending  *Event
+	fire     func()
+	pending  Handle
 	stopped  bool
 	fires    int
 }
@@ -267,16 +306,7 @@ func (t *Ticker) arm() {
 	if t.jitter > 0 {
 		d += time.Duration(t.kernel.rng.Int63n(int64(t.jitter)))
 	}
-	t.pending = t.kernel.Schedule(d, t.name, func() {
-		if t.stopped {
-			return
-		}
-		t.fires++
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.pending = t.kernel.Schedule(d, t.name, t.fire)
 }
 
 // Stop cancels future firings. It is safe to call from inside the callback.

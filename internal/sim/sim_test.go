@@ -91,11 +91,37 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNilSafe(t *testing.T) {
-	var e *Event
-	e.Cancel() // must not panic
-	if e.Canceled() {
-		t.Error("nil event reports canceled")
+func TestCancelZeroHandleSafe(t *testing.T) {
+	var h Handle
+	h.Cancel() // must not panic
+	if h.Canceled() {
+		t.Error("zero handle reports canceled")
+	}
+	if _, ok := h.At(); ok {
+		t.Error("zero handle reports a scheduled time")
+	}
+}
+
+func TestHandleStaleAfterDispatch(t *testing.T) {
+	k := NewKernel(1)
+	h := k.Schedule(time.Millisecond, "once", func() {})
+	if _, ok := h.At(); !ok {
+		t.Fatal("live handle At() not ok")
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The event ran and its pool slot was recycled: the handle is stale.
+	if _, ok := h.At(); ok {
+		t.Error("stale handle At() ok after dispatch")
+	}
+	h.Cancel() // must not affect the slot's next occupant
+	h2 := k.Schedule(time.Millisecond, "next", func() {})
+	if h2.Canceled() {
+		t.Error("stale Cancel leaked onto the recycled slot's new event")
+	}
+	if h.Canceled() {
+		t.Error("stale handle reports canceled")
 	}
 }
 
@@ -123,6 +149,24 @@ func TestRunAllBound(t *testing.T) {
 	}
 }
 
+func TestRunAllClearsStop(t *testing.T) {
+	// Regression: RunAll used to leave a prior StopNow in effect, so every
+	// subsequent RunAll returned ErrStopped without executing anything.
+	k := NewKernel(1)
+	k.Schedule(time.Millisecond, "halt", func() { k.StopNow() })
+	if err := k.RunAll(100); err != ErrStopped {
+		t.Fatalf("first RunAll err = %v, want ErrStopped", err)
+	}
+	fired := false
+	k.Schedule(time.Millisecond, "after", func() { fired = true })
+	if err := k.RunAll(100); err != nil {
+		t.Fatalf("second RunAll err = %v, want nil", err)
+	}
+	if !fired {
+		t.Error("event did not fire: RunAll kept the stale stopped flag")
+	}
+}
+
 func TestEventsInsideEvents(t *testing.T) {
 	k := NewKernel(1)
 	var got []string
@@ -142,8 +186,8 @@ func TestNegativeDelayClamped(t *testing.T) {
 	k := NewKernel(1)
 	k.Schedule(time.Millisecond, "advance", func() {
 		e := k.Schedule(-5*time.Second, "past", func() {})
-		if e.At != k.Now() {
-			t.Errorf("negative delay scheduled at %s, want %s", e.At, k.Now())
+		if at, ok := e.At(); !ok || at != k.Now() {
+			t.Errorf("negative delay scheduled at %s (ok=%v), want %s", at, ok, k.Now())
 		}
 	})
 	if err := k.Run(time.Second); err != nil {

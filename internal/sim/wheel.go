@@ -1,0 +1,350 @@
+package sim
+
+// The kernel's scheduling core: a hierarchical timer wheel over a pooled
+// event slab (DESIGN.md §12). Three pieces cooperate:
+//
+//   - The slab (slots + free) owns every event. Events are addressed by
+//     int32 slot index, never by pointer: the slab may grow (invalidating
+//     pointers), and slots are recycled through a freelist so steady-state
+//     scheduling performs no heap allocation. A per-slot generation
+//     counter makes recycled slots unreachable from stale Handles.
+//
+//   - The wheel (levels) indexes queued events by time. Level L holds
+//     events whose delay from the wheel clock is in [64^L, 64^(L+1))
+//     ticks of 1ns; each level is a ring of 64 buckets (intrusive
+//     singly-linked slot lists) with a one-word occupancy bitmap, so
+//     finding the next non-empty bucket is a rotate + trailing-zeros.
+//     Level-0 buckets are a single tick wide: everything in one holds the
+//     same timestamp. Events beyond the wheel's 2^48ns (~78h) span wait
+//     in the far-future overflow bucket and are re-filed when the wheel
+//     clock approaches them.
+//
+//   - The batch is the dispatch staging area: arriving at a tick moves
+//     the whole level-0 bucket into it at once and sorts it by (at, seq),
+//     so a burst of N same-timestamp events costs one bucket collection
+//     plus a nearly-sorted insertion sort, not N priority-queue pops, and
+//     ties still execute in exact scheduling order.
+//
+// The wheel clock (wtime) trails the kernel clock: it advances only to
+// bucket boundaries at or before the next event, and snaps forward to the
+// kernel clock when the queue drains, so a newly scheduled event is never
+// behind the wheel's position.
+
+import (
+	"math/bits"
+	"time"
+)
+
+const (
+	wheelBits   = 6
+	wheelSize   = 1 << wheelBits
+	wheelMask   = wheelSize - 1
+	wheelLevels = 8
+	// wheelSpan is the horizon the wheel can index, in 1ns ticks:
+	// 64^8 = 2^48 ns ≈ 78h of delay.
+	wheelSpan = uint64(1) << (wheelBits * wheelLevels)
+	// wheelFit is the delay horizon actually filed into the wheel; the
+	// top bucket's width is held back so a carry from the lower digits
+	// can never wrap a top-level event onto the clock's own index (which
+	// would have nowhere to promote to). Delays >= wheelFit use the
+	// overflow far-future bucket and re-enter once the clock is within
+	// wheelFit of them.
+	wheelFit = wheelSpan - uint64(1)<<(wheelBits*(wheelLevels-1))
+)
+
+// event is one pool slot. The zero slot state is "free"; fn/fnArg decide
+// the dispatch form (exactly one is non-nil while queued).
+type event struct {
+	at       time.Duration
+	seq      uint64
+	name     string
+	fn       func()
+	fnArg    func(any)
+	arg      any
+	next     int32 // intrusive list link: bucket chain or freelist
+	gen      uint32
+	canceled bool
+}
+
+// level is one ring of the hierarchical wheel.
+type level struct {
+	occupied uint64 // bit i set ⇔ head[i] >= 0
+	head     [wheelSize]int32
+	tail     [wheelSize]int32
+}
+
+// wheel is the scheduling state embedded in Kernel.
+type wheel struct {
+	wtime       uint64 // wheel clock in ns ticks; never ahead of the next queued event
+	slots       []event
+	free        int32 // freelist head, -1 when empty
+	levels      [wheelLevels]level
+	overflow    []int32 // events with delay >= wheelSpan
+	overflowMin uint64  // earliest at in overflow; MaxUint64 when empty
+	batch       []int32 // current dispatch batch, sorted by (at, seq)
+	batchIdx    int     // next batch entry to dispatch
+}
+
+func (w *wheel) init() {
+	w.free = -1
+	w.overflowMin = ^uint64(0)
+	for l := range w.levels {
+		for i := range w.levels[l].head {
+			w.levels[l].head[i] = -1
+			w.levels[l].tail[i] = -1
+		}
+	}
+}
+
+// alloc takes a slot from the freelist, growing the slab only when every
+// slot is in flight. Slab growth is the one allocation in the scheduling
+// path; it is amortized to the peak event backlog and disappears entirely
+// in steady state.
+//
+//xlf:hotpath
+func (k *Kernel) alloc() int32 {
+	if s := k.free; s >= 0 {
+		k.free = k.slots[s].next
+		return s
+	}
+	k.slots = append(k.slots, event{gen: 1}) //xlf:allow-hotpath slab growth is amortized to peak backlog; steady state reuses the freelist
+	return int32(len(k.slots) - 1)
+}
+
+// recycle returns a slot to the freelist. Bumping the generation makes
+// every Handle to the old occupant stale before the slot can be reused,
+// and dropping the callback/arg references keeps the pool from pinning
+// caller memory.
+//
+//xlf:hotpath
+func (k *Kernel) recycle(s int32) {
+	e := &k.slots[s]
+	e.gen++
+	e.name = ""
+	e.fn, e.fnArg, e.arg = nil, nil, nil
+	e.canceled = false
+	e.next = k.free
+	k.free = s
+}
+
+// enqueue files a queued slot into the wheel level matching its delay
+// from the wheel clock (or the overflow bucket beyond the span). Buckets
+// are appended FIFO; dispatch order is restored by the batch sort, so
+// cascades need no ordered insertion.
+//
+//xlf:hotpath
+func (k *Kernel) enqueue(s int32) {
+	e := &k.slots[s]
+	pos := uint64(e.at)
+	if pos < k.wtime {
+		// Defensive: the wheel clock never outruns the kernel clock (see
+		// prepare's drain snap), so a past position should not occur; if
+		// it ever does, file the event at the current tick so it still
+		// dispatches before everything later.
+		pos = k.wtime
+	}
+	delta := pos - k.wtime
+	if delta < wheelFit {
+		lvl := 0
+		if delta > 0 {
+			lvl = (bits.Len64(delta) - 1) / wheelBits
+		}
+		shift := uint(lvl * wheelBits)
+		idx := int((pos >> shift) & wheelMask)
+		if lvl > 0 && idx == int((k.wtime>>shift)&wheelMask) {
+			// Carry collision: delta is near the top of this level's
+			// range and the carry from the lower digits wrapped pos onto
+			// the clock's own index — one full revolution ahead, which
+			// would cascade in place forever. Promote one level, where
+			// pos's digit is exactly one past the clock's.
+			lvl++
+			shift += wheelBits
+			idx = int((pos >> shift) & wheelMask)
+		}
+		if lvl < wheelLevels {
+			lv := &k.levels[lvl]
+			e.next = -1
+			if lv.tail[idx] >= 0 {
+				k.slots[lv.tail[idx]].next = s
+			} else {
+				lv.head[idx] = s
+			}
+			lv.tail[idx] = s
+			lv.occupied |= 1 << uint(idx)
+			return
+		}
+	}
+	e.next = -1
+	k.overflow = append(k.overflow, s) //xlf:allow-hotpath far-future bucket growth is amortized and off the steady-state path
+	if pos < k.overflowMin {
+		k.overflowMin = pos
+	}
+}
+
+// collect moves one level-0 bucket into the batch and sorts it. All
+// events in a level-0 bucket share a timestamp (the bucket is one tick
+// wide), so this is the batch-dispatch entry point: the whole tick is
+// drained with one bucket operation.
+//
+//xlf:hotpath
+func (k *Kernel) collect(idx int) {
+	lv := &k.levels[0]
+	s := lv.head[idx]
+	lv.head[idx] = -1
+	lv.tail[idx] = -1
+	lv.occupied &^= 1 << uint(idx)
+	k.batch = k.batch[:0]
+	k.batchIdx = 0
+	for s >= 0 {
+		k.batch = append(k.batch, s) //xlf:allow-hotpath batch scratch growth is amortized to the largest same-tick burst
+		s = k.slots[s].next
+	}
+	k.sortBatch()
+}
+
+// sortBatch restores (at, seq) dispatch order with an insertion sort:
+// buckets are nearly sorted already (direct schedules append in seq
+// order; a cascade appends a few earlier-seq runs), so the common case
+// is linear and nothing allocates.
+//
+//xlf:hotpath
+func (k *Kernel) sortBatch() {
+	b := k.batch
+	for i := 1; i < len(b); i++ {
+		s := b[i]
+		at, seq := k.slots[s].at, k.slots[s].seq
+		j := i - 1
+		for j >= 0 {
+			e := &k.slots[b[j]]
+			if e.at < at || (e.at == at && e.seq < seq) {
+				break
+			}
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = s
+	}
+}
+
+// cascade re-files every event of a higher-level bucket once the wheel
+// clock reaches the bucket's start: deltas have shrunk, so each event
+// drops at least one level. An event cascades at most wheelLevels-1
+// times in its life, keeping scheduling amortized O(1).
+//
+//xlf:hotpath
+func (k *Kernel) cascade(lvl, idx int) {
+	lv := &k.levels[lvl]
+	s := lv.head[idx]
+	lv.head[idx] = -1
+	lv.tail[idx] = -1
+	lv.occupied &^= 1 << uint(idx)
+	for s >= 0 {
+		next := k.slots[s].next
+		k.enqueue(s)
+		s = next
+	}
+}
+
+// rescanOverflow re-files far-future events that now fit the wheel span
+// and keeps the rest, recomputing the overflow minimum. It runs when the
+// wheel clock reaches the point where the earliest overflow event fits —
+// at most once per wheelSpan of simulated time per event.
+//
+//xlf:hotpath
+func (k *Kernel) rescanOverflow() {
+	pending := k.overflow
+	k.overflow = k.overflow[:0]
+	k.overflowMin = ^uint64(0)
+	for _, s := range pending {
+		at := uint64(k.slots[s].at)
+		if at-k.wtime < wheelFit {
+			k.enqueue(s)
+			continue
+		}
+		k.overflow = append(k.overflow, s) //xlf:allow-hotpath rescan keeps survivors in the reused backing array
+		if at < k.overflowMin {
+			k.overflowMin = at
+		}
+	}
+}
+
+// prepare makes the next dispatch batch available, advancing the wheel
+// clock no further than limit (pass MaxUint64 for no horizon). It
+// reports whether a batch is ready; false means no event is due at or
+// before limit. The loop alternates three moves until level 0 yields a
+// bucket: jump the wheel clock to the earliest candidate boundary,
+// cascade the higher-level bucket starting there, or re-file overflow
+// events that came into span.
+//
+//xlf:hotpath
+func (k *Kernel) prepare(limit uint64) bool {
+	for {
+		if k.batchIdx < len(k.batch) {
+			return true
+		}
+		// Same-tick refill: events scheduled during the current batch
+		// with zero delay land in the bucket the wheel points at and must
+		// drain (in seq order, after the already-dispatched ones) before
+		// the clock moves.
+		cur0 := int(k.wtime & wheelMask)
+		if k.levels[0].occupied&(1<<uint(cur0)) != 0 {
+			k.collect(cur0)
+			continue
+		}
+		best := ^uint64(0)
+		bestLvl := -1
+		for lvl := 0; lvl < wheelLevels; lvl++ {
+			occ := k.levels[lvl].occupied
+			if occ == 0 {
+				continue
+			}
+			shift := uint(lvl * wheelBits)
+			cur := (k.wtime >> shift) & wheelMask
+			d := uint64(bits.TrailingZeros64(bits.RotateLeft64(occ, -int(cur))))
+			// Start time of the first occupied bucket at or after the
+			// wheel position. For level 0 this is the exact event time.
+			// Ties go to the higher level: a bucket starting exactly at a
+			// level-0 event's tick can hold an earlier-seq event with the
+			// same timestamp, so it must cascade into the tick's batch
+			// before the batch is collected.
+			t := ((k.wtime >> shift) + d) << shift
+			if t <= best {
+				best = t
+				bestLvl = lvl
+			}
+		}
+		if len(k.overflow) > 0 {
+			// The earliest overflow event fits the wheel once the clock
+			// reaches overflowMin-wheelFit+1; no queued event can be due
+			// before that boundary when it wins the minimum.
+			if ot := k.overflowMin - wheelFit + 1; ot < best {
+				best = ot
+				bestLvl = wheelLevels // sentinel: re-file the far-future bucket
+			}
+		}
+		if bestLvl < 0 {
+			// Queue drained. Snap the wheel clock up to the kernel clock
+			// so nothing scheduled next starts behind the wheel.
+			if now := uint64(k.now); now > k.wtime {
+				k.wtime = now
+			}
+			return false
+		}
+		if best > limit {
+			return false
+		}
+		if best > k.wtime {
+			k.wtime = best
+		}
+		switch {
+		case bestLvl == wheelLevels:
+			k.rescanOverflow()
+		case bestLvl == 0:
+			k.collect(int(best & wheelMask))
+			return true
+		default:
+			shift := uint(bestLvl * wheelBits)
+			k.cascade(bestLvl, int((best>>shift)&wheelMask))
+		}
+	}
+}

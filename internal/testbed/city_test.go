@@ -1,0 +1,52 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCityRunsAndCounts(t *testing.T) {
+	c, err := NewCity(CityConfig{Seed: 7, Devices: 2000, ReportEvery: 5 * time.Second, Horizon: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Devices != 2000 || st.Districts < 1 {
+		t.Fatalf("shape: %+v", st)
+	}
+	// 30s horizon / 5s period: every sensor reports ~6 times.
+	if st.Sent < 5*2000 {
+		t.Errorf("sent = %d, want >= %d", st.Sent, 5*2000)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 (lossless links, attached sinks)", st.Dropped)
+	}
+	// Everything sent more than a delivery delay before the horizon arrives.
+	if st.Delivered < st.Sent-2000 {
+		t.Errorf("delivered = %d of %d sent", st.Delivered, st.Sent)
+	}
+	if st.Now != 30*time.Second {
+		t.Errorf("Now = %s, want 30s", st.Now)
+	}
+}
+
+func TestCityDeterministic(t *testing.T) {
+	run := func() CityStats {
+		c, err := NewCity(CityConfig{Seed: 11, Devices: 3000, Horizon: 25 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverges:\n%+v\n%+v", a, b)
+	}
+}

@@ -33,6 +33,7 @@ go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
 go test -run='^$' -fuzz='^FuzzCFGBuild$' -fuzztime=5s ./internal/analysis
 go test -run='^$' -fuzz='^FuzzLockOrderGraph$' -fuzztime=5s ./internal/analysis
 go test -run='^$' -fuzz='^FuzzCallGraph$' -fuzztime=5s ./internal/analysis
+go test -run='^$' -fuzz='^FuzzKernelSchedule$' -fuzztime=5s ./internal/sim
 
 echo '>> xlf-vet ./... (self-gate, baselined)'
 go run ./cmd/xlf-vet -baseline vet-baseline.json ./...
@@ -75,6 +76,13 @@ echo '>> bench-compare (non-blocking)'
 go run ./scripts/bench-compare -base "$benchdir/sequential" -new "$benchdir/parallel" ||
 	echo 'bench-compare: drift noted (non-blocking)'
 
+# Blocking: the step-clock run must reproduce the committed bench/seed
+# baselines bit-for-bit (headline numbers and rendered output). The wall
+# tolerance is wide open because the committed telemetry is
+# machine-specific; only determinism drift fails here.
+echo '>> bench-compare vs committed bench/seed (blocking on numbers/output)'
+go run ./scripts/bench-compare -base bench/seed -new "$benchdir/sequential" -wall-tolerance 1e9
+
 # Trace determinism: with the step clock and the tracer enabled, the
 # serialized span timeline must be byte-identical across runs and across
 # -parallel levels (the worker pool again under the race detector), and
@@ -93,5 +101,13 @@ go run ./cmd/xlf-trace "$benchdir/trace-sequential.jsonl" >"$benchdir/trace-time
 echo '>> tracer overhead benchmark (non-blocking)'
 go test -run='^$' -bench='^BenchmarkCoreIngest(Traced)?$' -benchtime=1s . ||
 	echo 'tracer overhead bench: failed (non-blocking)'
+
+# Informational numbers for the log: kernel dispatch and netsim send
+# must print 0 allocs/op. The enforcement lives in the AllocsPerRun
+# tests above (the dynamic half of the //xlf:hotpath contract); this
+# step puts the ns/op trend where reviewers can see it.
+echo '>> kernel hot-path benchmarks'
+go test -run='^$' -bench='^BenchmarkKernelDispatch$' -benchmem -benchtime=1s ./internal/sim
+go test -run='^$' -bench='^BenchmarkNetsimSend$' -benchmem -benchtime=1s ./internal/netsim
 
 echo 'all checks passed'
