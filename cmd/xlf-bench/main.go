@@ -18,6 +18,11 @@
 //	xlf-bench -exp E1 -clock step \
 //	          -trace out.jsonl          # cross-layer span trace (xlf-trace/v1);
 //	                                    # render with cmd/xlf-trace
+//	xlf-bench -exp E10 -clock step \
+//	          -telemetry metrics.jsonl \
+//	          -rollup-interval 1s       # windowed rollups + flight-recorder
+//	                                    # dumps (xlf-metrics/v1); render with
+//	                                    # xlf-trace metrics
 //	xlf-bench -exp E1 -cpuprofile cpu.pprof \
 //	          -memprofile mem.pprof     # pprof profiles of the run
 //	                                    # (go tool pprof cpu.pprof)
@@ -30,6 +35,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"xlf/internal/exp"
 	"xlf/internal/obs"
@@ -52,6 +58,8 @@ func run(args []string) int {
 		jsonDir  = fs.String("json", "", "directory to write BENCH_<id>.json artifacts into")
 		clock    = fs.String("clock", exp.ClockWall, "timing source: wall (measured throughput) or step (deterministic output)")
 		traceOut = fs.String("trace", "", "file to write the xlf-trace/v1 span timeline into")
+		telOut   = fs.String("telemetry", "", "file to write the xlf-metrics/v1 rollup/dump artifact into")
+		rollupIv = fs.Duration("rollup-interval", time.Second, "sim-time rollup window length (with -telemetry)")
 		cpuProf  = fs.String("cpuprofile", "", "file to write a CPU profile of the experiment run into")
 		memProf  = fs.String("memprofile", "", "file to write an end-of-run heap profile into")
 	)
@@ -116,6 +124,13 @@ func run(args []string) int {
 	if *traceOut != "" {
 		env.EnableTracing(0)
 	}
+	if *telOut != "" {
+		if *rollupIv <= 0 {
+			fmt.Fprintln(os.Stderr, "xlf-bench: -rollup-interval must be positive")
+			return 2
+		}
+		env.EnableTelemetry(*rollupIv)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -148,6 +163,13 @@ func run(args []string) int {
 
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, env, *seed, *clock, selection); err != nil {
+			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
+			return 1
+		}
+	}
+
+	if *telOut != "" {
+		if err := writeMetrics(*telOut, env, *seed, *clock, selection); err != nil {
 			fmt.Fprintln(os.Stderr, "xlf-bench:", err)
 			return 1
 		}
@@ -211,5 +233,38 @@ func writeTrace(path string, env *exp.Env, seed int64, clock string, selection [
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "xlf-bench: wrote trace to %s\n", path)
+	return nil
+}
+
+// writeMetrics serializes the run's telemetry tree as an xlf-metrics/v1
+// artifact: every experiment's rollup windows and flight-recorder dumps,
+// depth-first in dispatch order. With -clock step the file is
+// byte-identical across runs and -parallel levels; render it with
+// `xlf-trace metrics`.
+func writeMetrics(path string, env *exp.Env, seed int64, clock string, selection []exp.Experiment) error {
+	ids := make([]string, len(selection))
+	for i, e := range selection {
+		ids[i] = e.ID
+	}
+	windows, dumps := env.TelemetryWindows()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := obs.MetricsMeta{
+		Seed:     seed,
+		Clock:    clock,
+		Source:   "xlf-bench " + strings.Join(ids, ","),
+		Interval: env.RollupInterval(),
+		Evicted:  env.TelemetryEvicted(),
+	}
+	if werr := obs.WriteMetrics(f, meta, windows, dumps); werr != nil {
+		f.Close()
+		return werr
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xlf-bench: wrote telemetry to %s\n", path)
 	return nil
 }

@@ -11,6 +11,13 @@
 //	xlf-trace -ops=false trace.jsonl      # timeline only
 //	xlf-trace -width 100 trace.jsonl      # wider timeline
 //
+// The metrics subcommand renders an xlf-metrics/v1 telemetry artifact
+// (written by xlf-bench -telemetry) instead:
+//
+//	xlf-trace metrics metrics.jsonl             # per-source rollups + dumps
+//	xlf-trace metrics -src E10/1000 m.jsonl     # one source only
+//	xlf-trace metrics -windows m.jsonl          # plus per-window activity
+//
 // Exit codes: 0 rendered, 1 unreadable/invalid artifact, 2 usage error.
 package main
 
@@ -30,6 +37,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) int {
+	if len(args) > 0 && args[0] == "metrics" {
+		return runMetrics(args[1:], out)
+	}
 	fs := flag.NewFlagSet("xlf-trace", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (

@@ -62,8 +62,8 @@ var XLFLayerTable = map[string][]string{
 
 	// Harnesses above the layers.
 	"internal/attack": {
-		"internal/device", "internal/netsim", "internal/service",
-		"internal/sim",
+		"internal/device", "internal/netsim", "internal/obs",
+		"internal/service", "internal/sim",
 	},
 	"internal/testbed": {
 		"internal/attack", "internal/channel", "internal/device",
@@ -97,7 +97,7 @@ var XLFLayerTable = map[string][]string{
 
 	"examples/botnet":         {".", "internal/attack", "internal/netsim", "internal/service"},
 	"examples/quickstart":     {".", "internal/attack", "internal/service"},
-	"examples/smartcity":      {"internal/testbed"},
+	"examples/smartcity":      {"internal/obs", "internal/testbed"},
 	"examples/smarthome":      {".", "internal/analytics", "internal/attack", "internal/service"},
 	"examples/trafficprivacy": {"internal/netsim", "internal/shaping", "internal/sim"},
 }

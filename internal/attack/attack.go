@@ -13,6 +13,7 @@ import (
 
 	"xlf/internal/device"
 	"xlf/internal/netsim"
+	"xlf/internal/obs"
 	"xlf/internal/service"
 	"xlf/internal/sim"
 )
@@ -40,6 +41,21 @@ type Env struct {
 	// AttackerWAN/AttackerLAN are pre-attached attacker footholds.
 	AttackerWAN netsim.Addr
 	AttackerLAN netsim.Addr
+
+	// Detections, when set, timestamps each successful attack's first
+	// touch of a victim device, so the telemetry pipeline can measure
+	// end-to-end detection latency per attack class. Nil disables.
+	Detections *obs.DetectionTracker
+}
+
+// MarkInjection records ground truth for the detection-latency SLO: the
+// attack of the given class reached device at the current sim instant.
+// Attacks call it at their success sites; a nil tracker no-ops.
+func (e *Env) MarkInjection(class, deviceID string) {
+	if e.Detections == nil {
+		return
+	}
+	e.Detections.Inject(e.Kernel.Now(), class, deviceID)
 }
 
 // Device fetches a target device or fails the attack gracefully.
@@ -146,6 +162,7 @@ func (a *StaticPasswordMitM) Execute(env *Env) Result {
 		[]byte(fmt.Sprintf("POST /login user=%s pass=%s; PUT /state on", creds.User, creds.Password)), "attack:bulb-takeover")
 	d.ForceState("on")
 	d.Compromise("remote-controller")
+	env.MarkInjection("mitm-password", a.Target)
 	return Result{
 		Attack: a.Name(), Succeeded: true,
 		Impact: "Bulb controlled by remote",
@@ -202,6 +219,7 @@ func (a *BufferOverflow) Execute(env *Env) Result {
 	sendLAN(env, netsim.Addr("lan:"+a.Target), 5000, "control", a.PayloadLen, payload, "attack:overflow")
 	d.Compromise("shellcode")
 	d.ForceState("unlocked")
+	env.MarkInjection("overflow", a.Target)
 	return Result{Attack: a.Name(), Succeeded: true, Impact: "Housebreaking, monitoring"}
 }
 
@@ -242,6 +260,7 @@ func (a *FirmwareModulation) Execute(env *Env) Result {
 	sendLAN(env, netsim.Addr("lan:"+a.Target), 80, "HTTP", len(evil.Data)+64, evil.Data, "attack:ota-tamper")
 	d.Firmware = device.Firmware{Version: evil.Version, Hash: 0, Signed: false, Tampered: true, BuildData: evil.Data}
 	d.Compromise("modded-firmware")
+	env.MarkInjection("ota-tamper", a.Target)
 	return Result{Attack: a.Name(), Succeeded: true, Impact: "Damage peripherals"}
 }
 
@@ -281,6 +300,7 @@ func (a *Rickrolling) Execute(env *Env) Result {
 	if err := d.Apply("cast"); err != nil {
 		d.ForceState("playing")
 	}
+	env.MarkInjection("rickrolling", a.Target)
 	return Result{Attack: a.Name(), Succeeded: true, Impact: "Privacy violation"}
 }
 
@@ -326,6 +346,7 @@ func (a *UPnPSniff) Execute(env *Env) Result {
 			Proto: "UPnP", Size: 180, Payload: []byte("SSID=home PSK=" + pw), App: "provisioning",
 		}
 	})
+	env.MarkInjection("upnp-sniff", a.Target)
 	return Result{
 		Attack: a.Name(), Succeeded: true,
 		Impact: "Hijack password of Wi-Fi",
@@ -383,6 +404,7 @@ func (a *MaliciousMail) Execute(env *Env) Result {
 			})
 		})
 	}
+	env.MarkInjection("spam", a.Target)
 	return Result{Attack: a.Name(), Succeeded: true, Impact: "Send malicious mail"}
 }
 
@@ -441,6 +463,7 @@ func (a *OpenWiFiMitM) Execute(env *Env) Result {
 		})
 	}
 	_ = pivot
+	env.MarkInjection("mitm-pivot", a.Target)
 	return Result{Attack: a.Name(), Succeeded: true, Impact: "Access other devices"}
 }
 

@@ -77,6 +77,7 @@ func (a *MiraiRecruit) Execute(env *Env) Result {
 				})
 				d.Compromise("mirai")
 				a.recruited = append(a.recruited, id)
+				env.MarkInjection("mirai", id)
 				// Beacon phase: periodic C&C keep-alives from the bot.
 				env.Kernel.Schedule(delay+3*time.Second, "mirai-beacon-start", func() {
 					env.Kernel.Every(a.BeaconEvery, 0, "mirai-beacon", func() {
@@ -164,6 +165,7 @@ func (a *DDoSFlood) Execute(env *Env) Result {
 			})
 		})
 		env.Kernel.Schedule(dur, "ddos-stop", t.Stop)
+		env.MarkInjection("flood", id)
 	}
 	return Result{
 		Attack: a.Name(), Succeeded: true,

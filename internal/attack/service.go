@@ -38,6 +38,7 @@ func (a *EventSpoof) Execute(env *Env) Result {
 	if err != nil {
 		return Result{Attack: a.Name(), Blocked: fmt.Sprintf("platform rejected: %v", err)}
 	}
+	env.MarkInjection("event-spoof", a.DeviceID)
 	return Result{
 		Attack: a.Name(), Succeeded: true,
 		Impact: fmt.Sprintf("forged %s=%v for %s accepted by platform", a.Event, a.Value, a.DeviceID),
@@ -95,6 +96,7 @@ func (a *RogueApp) Execute(env *Env) Result {
 	// Judge success by whether the hidden command made the log.
 	for _, cmd := range env.Cloud.CommandLog() {
 		if cmd.DeviceID == a.TargetDevice && cmd.Name == a.TargetCommand && cmd.IssuedBy == "app:"+a.AppID {
+			env.MarkInjection("rogue-app", a.TargetDevice)
 			return Result{
 				Attack: a.Name(), Succeeded: true,
 				Impact: fmt.Sprintf("app %q actuated %s.%s via over-privilege", a.AppID, a.TargetDevice, a.TargetCommand),

@@ -150,6 +150,16 @@ type Core struct {
 	// at the cost of one branch per hot-path operation.
 	Tracer *obs.Tracer
 
+	// Detections, when set, is notified of every raised alert so
+	// injected attacks can be matched to their first detection (the
+	// telemetry pipeline's latency SLO). Nil disables at one branch.
+	Detections *obs.DetectionTracker
+
+	// Recorder, when set, receives an alert trigger for every raised
+	// alert, arming the anomaly flight recorder's next flush. Nil
+	// disables at one branch.
+	Recorder *obs.FlightRecorder
+
 	reg        *obs.Registry
 	cIngested  *obs.Counter
 	cDropped   *obs.Counter
@@ -342,6 +352,8 @@ func (c *Core) evaluate(deviceID string, now time.Duration) *Alert {
 		}
 	}
 	c.cAlerts.Inc()
+	c.Detections.Observe(now, deviceID)
+	c.Recorder.Trigger(now, obs.TriggerAlert)
 	if c.Tracer != nil {
 		c.Tracer.EmitSpan(obs.Span{
 			Time: now, Layer: obs.LayerCore, Op: "alert",

@@ -135,6 +135,78 @@ func TestTraceDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// telemetryE10 runs E10 under a step clock with telemetry on at the given
+// parallelism and returns the serialized xlf-metrics/v1 artifact.
+func telemetryE10(t *testing.T, seed int64, parallel int) []byte {
+	t.Helper()
+	ex, ok := Lookup("E10")
+	if !ok {
+		t.Fatal("registry lost E10")
+	}
+	env := envFor(seed)
+	env.Workers = parallel
+	env.EnableTelemetry(time.Second)
+	(&Scheduler{Parallel: parallel}).Run(env, []Experiment{ex})
+	windows, dumps := env.TelemetryWindows()
+	var buf bytes.Buffer
+	meta := obs.MetricsMeta{
+		Seed:     seed,
+		Clock:    ClockStep,
+		Source:   "E10",
+		Interval: env.RollupInterval(),
+		Evicted:  env.TelemetryEvicted(),
+	}
+	if err := obs.WriteMetrics(&buf, meta, windows, dumps); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetryDeterminismMatrix is the rollup analogue of the trace
+// matrix: with a step clock, the serialized telemetry of an E10 run (the
+// attack timeline included) must be byte-identical across runs and across
+// -parallel levels, because sweep points fork the telemetry tree
+// sequentially in dispatch order and each city runs on its own sim clock.
+func TestTelemetryDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry determinism matrix in -short mode")
+	}
+	baseline := telemetryE10(t, 7, 1)
+	if again := telemetryE10(t, 7, 1); !bytes.Equal(baseline, again) {
+		t.Fatal("sequential E10 telemetry differs between two runs with the same seed")
+	}
+	for _, parallel := range []int{4, 16} {
+		if got := telemetryE10(t, 7, parallel); !bytes.Equal(baseline, got) {
+			t.Errorf("parallel %d E10 telemetry differs from sequential", parallel)
+		}
+	}
+
+	meta, windows, dumps, err := obs.ReadMetrics(bytes.NewReader(baseline))
+	if err != nil {
+		t.Fatalf("ReadMetrics: %v", err)
+	}
+	if meta.Seed != 7 || meta.Clock != ClockStep || meta.Interval != time.Second {
+		t.Errorf("metrics meta = %+v, want seed 7 clock step interval 1s", meta)
+	}
+	// Three scale points, each a 60-window run, labelled in sweep order.
+	wantSrcs := []string{"E10/1000", "E10/10000", "E10/50000"}
+	srcs := []string{}
+	for _, w := range windows {
+		if len(srcs) == 0 || srcs[len(srcs)-1] != w.Src {
+			srcs = append(srcs, w.Src)
+		}
+	}
+	if fmt.Sprint(srcs) != fmt.Sprint(wantSrcs) {
+		t.Errorf("window sources = %v, want %v", srcs, wantSrcs)
+	}
+	if len(windows) < 3*55 {
+		t.Errorf("windows = %d, want ~180 (3 scales x 60s horizon / 1s)", len(windows))
+	}
+	if len(dumps) == 0 {
+		t.Error("no flight-recorder dumps despite the attack timeline")
+	}
+}
+
 // TestStepClock pins the fake clock's contract: fixed advance per reading.
 func TestStepClock(t *testing.T) {
 	c := StepClock(time.Second)

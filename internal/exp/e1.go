@@ -8,6 +8,7 @@ import (
 	"xlf/internal/analytics"
 	"xlf/internal/core"
 	"xlf/internal/metrics"
+	"xlf/internal/obs"
 	"xlf/internal/service"
 )
 
@@ -41,7 +42,7 @@ func runE1(env *Env) *Result {
 		alerts, contained int
 	}
 	points := Sweep(env, len(configs), func(i int, env *Env) e1Point {
-		conf, alerts, contained := runE1Config(env, configs[i].layers, configs[i].bonus, 0)
+		conf, alerts, contained := runE1Config(env, "E1/"+configs[i].name, configs[i].layers, configs[i].bonus, 0)
 		return e1Point{conf, alerts, contained}
 	})
 
@@ -63,7 +64,7 @@ func runE1(env *Env) *Result {
 	// periodic); too narrow a window forfeits corroboration.
 	windows := []time.Duration{5 * time.Second, 30 * time.Second, 2 * time.Minute, 10 * time.Minute}
 	wpoints := Sweep(env, len(windows), func(i int, env *Env) metrics.Confusion {
-		conf, _, _ := runE1Config(env, nil, 0.25, windows[i])
+		conf, _, _ := runE1Config(env, "E1/window/"+windows[i].String(), nil, 0.25, windows[i])
 		return conf
 	})
 	wt := metrics.NewTable("", "Window", "Precision", "Recall", "F1")
@@ -84,9 +85,10 @@ func runE1(env *Env) *Result {
 
 // runE1Config executes the composite campaign under one Core configuration
 // and scores per-device detection. window = 0 keeps the default. The sweep
-// point's env supplies the seed and (when tracing is enabled) the span
-// recorder for this system's cross-layer timeline.
-func runE1Config(env *Env, layers []core.LayerName, bonus float64, window time.Duration) (metrics.Confusion, int, int) {
+// point's env supplies the seed, (when tracing is enabled) the span
+// recorder for this system's cross-layer timeline, and (when telemetry is
+// enabled) the rollup pipeline attached under label.
+func runE1Config(env *Env, label string, layers []core.LayerName, bonus float64, window time.Duration) (metrics.Confusion, int, int) {
 	coreCfg := core.DefaultConfig()
 	coreCfg.EnabledLayers = layers
 	coreCfg.LayerBonus = bonus
@@ -102,6 +104,31 @@ func runE1Config(env *Env, layers []core.LayerName, bonus float64, window time.D
 	})
 	if err != nil {
 		panic(err) // deterministic construction; cannot fail at runtime
+	}
+	if interval := env.RollupInterval(); interval > 0 {
+		// Roll up the Core's own registry, close the detection loop
+		// (attacks mark injections via Home.Detections, Core alerts
+		// observe them), and tee spans into the flight recorder. The
+		// ticker runs with zero jitter: a jittered ticker would consume
+		// kernel RNG and perturb the scenario it is observing.
+		reg := sys.Core.Metrics()
+		det := obs.NewDetectionTracker(reg, 90*time.Second)
+		rec := obs.NewFlightRecorder(0, 0)
+		det.SetRecorder(rec)
+		sys.Core.Detections = det
+		sys.Core.Recorder = rec
+		sys.Home.Detections = det
+		if tr := env.Tracer(); tr != nil {
+			tr.SetRecorder(rec)
+		}
+		rollup := obs.NewRollup(reg, interval, 0)
+		k := sys.Home.Kernel
+		k.Every(interval, 0, "telemetry-rollup", func() {
+			now := k.Now()
+			rollup.Tick(now)
+			rec.Flush(now)
+		})
+		env.AttachTelemetry(label, rollup, rec)
 	}
 	runE1Scenario(sys)
 

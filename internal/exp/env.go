@@ -62,6 +62,86 @@ type Env struct {
 	// sequentially in dispatch order, the tree shape — and therefore the
 	// TraceSpans concatenation — is identical at any parallelism.
 	trace *traceNode
+
+	// telemetry, when non-nil, is this env's node in the telemetry tree:
+	// experiments attach their rollups and flight recorders here, and
+	// TelemetryWindows concatenates the subtree depth-first in fork
+	// order — the same determinism template as the trace tree.
+	telemetry *telemetryNode
+}
+
+// telemetrySink is one attached (rollup, recorder) pair with its source
+// label, in attach order.
+type telemetrySink struct {
+	label  string
+	rollup *obs.Rollup
+	rec    *obs.FlightRecorder
+}
+
+// telemetryNode is one env's telemetry sinks plus its forked children,
+// in fork order.
+type telemetryNode struct {
+	mu       sync.Mutex
+	interval time.Duration
+	sinks    []telemetrySink
+	children []*telemetryNode
+}
+
+// fork creates a child node. Safe for concurrent use; deterministic child
+// order requires forking from a single goroutine (the scheduler and Sweep
+// dispatch loops do).
+func (n *telemetryNode) fork() *telemetryNode {
+	child := &telemetryNode{interval: n.interval}
+	n.mu.Lock()
+	n.children = append(n.children, child)
+	n.mu.Unlock()
+	return child
+}
+
+// attach registers one experiment run's telemetry under its source label.
+func (n *telemetryNode) attach(label string, rollup *obs.Rollup, rec *obs.FlightRecorder) {
+	n.mu.Lock()
+	n.sinks = append(n.sinks, telemetrySink{label: label, rollup: rollup, rec: rec})
+	n.mu.Unlock()
+}
+
+// collect appends this node's windows and dumps (stamped with their
+// source labels) and then its children's, depth-first.
+func (n *telemetryNode) collect(windows []obs.WindowRecord, dumps []obs.Dump) ([]obs.WindowRecord, []obs.Dump) {
+	n.mu.Lock()
+	sinks := append([]telemetrySink(nil), n.sinks...)
+	children := append([]*telemetryNode(nil), n.children...)
+	n.mu.Unlock()
+	for _, s := range sinks {
+		for _, w := range s.rollup.Windows() {
+			w.Src = s.label
+			windows = append(windows, w)
+		}
+		for _, d := range s.rec.Dumps() {
+			d.Src = s.label
+			dumps = append(dumps, d)
+		}
+	}
+	for _, c := range children {
+		windows, dumps = c.collect(windows, dumps)
+	}
+	return windows, dumps
+}
+
+// evicted sums rollup-ring evictions over the subtree.
+func (n *telemetryNode) evicted() uint64 {
+	n.mu.Lock()
+	sinks := append([]telemetrySink(nil), n.sinks...)
+	children := append([]*telemetryNode(nil), n.children...)
+	n.mu.Unlock()
+	var total uint64
+	for _, s := range sinks {
+		total += s.rollup.Evicted()
+	}
+	for _, c := range children {
+		total += c.evicted()
+	}
+	return total
 }
 
 // traceNode is one env's tracer plus its forked children, in fork order.
@@ -146,6 +226,58 @@ func (e *Env) TraceEvicted() uint64 {
 	return e.trace.evicted()
 }
 
+// EnableTelemetry attaches a telemetry tree to the env: experiments in
+// this env and every env forked from it build per-run rollups at the
+// given sim-time interval (1s when interval <= 0) and register them via
+// AttachTelemetry. Call before Fork.
+func (e *Env) EnableTelemetry(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	e.telemetry = &telemetryNode{interval: interval}
+}
+
+// RollupInterval returns the telemetry window length, or 0 when
+// telemetry is off — experiments use it as the enablement check.
+func (e *Env) RollupInterval() time.Duration {
+	if e.telemetry == nil {
+		return 0
+	}
+	return e.telemetry.interval
+}
+
+// AttachTelemetry registers one run's rollup and flight recorder under a
+// source label (e.g. "E10/1000"). The label is stamped into each
+// collected window and dump, so one telemetry file can carry several
+// runs. No-op when telemetry is off.
+func (e *Env) AttachTelemetry(label string, rollup *obs.Rollup, rec *obs.FlightRecorder) {
+	if e.telemetry == nil {
+		return
+	}
+	e.telemetry.attach(label, rollup, rec)
+}
+
+// TelemetryWindows returns every rollup window and flight-recorder dump
+// in this env's subtree, depth-first in fork/attach order with source
+// labels stamped. Deterministic across -parallel levels for the same
+// reason TraceSpans is: the tree shape follows the sequential dispatch
+// order, not goroutine timing.
+func (e *Env) TelemetryWindows() ([]obs.WindowRecord, []obs.Dump) {
+	if e.telemetry == nil {
+		return nil, nil
+	}
+	return e.telemetry.collect(nil, nil)
+}
+
+// TelemetryEvicted reports how many rollup windows the subtree's rings
+// displaced; nonzero means TelemetryWindows is incomplete.
+func (e *Env) TelemetryEvicted() uint64 {
+	if e.telemetry == nil {
+		return 0
+	}
+	return e.telemetry.evicted()
+}
+
 // NewEnv returns the standard environment: seeded randomness and
 // wall-clock throughput timing.
 func NewEnv(seed int64) *Env {
@@ -173,6 +305,9 @@ func (e *Env) Fork() *Env {
 	}
 	if e.trace != nil {
 		out.trace = e.trace.fork()
+	}
+	if e.telemetry != nil {
+		out.telemetry = e.telemetry.fork()
 	}
 	return out
 }

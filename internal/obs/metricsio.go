@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// MetricsSchema is the versioned identifier stamped into every telemetry
+// file: a header line, then the rollup windows, then the flight-recorder
+// dumps, one compact JSON object per line. Readers reject anything else,
+// the same contract as xlf-trace/v1.
+const MetricsSchema = "xlf-metrics/v1"
+
+// MetricsMeta is the header line of a telemetry file.
+type MetricsMeta struct {
+	// Schema must be MetricsSchema.
+	Schema string `json:"schema"`
+	// Seed is the RNG seed the run used.
+	Seed int64 `json:"seed"`
+	// Clock names the clock mode ("step" or "wall").
+	Clock string `json:"clock"`
+	// Source names what produced the file (e.g. "xlf-bench -exp E10").
+	Source string `json:"source,omitempty"`
+	// Interval is the rollup window length.
+	Interval time.Duration `json:"interval_ns"`
+	// Windows is the number of window lines that follow the header.
+	Windows int `json:"windows"`
+	// Dumps is the number of dump lines after the windows.
+	Dumps int `json:"dumps"`
+	// Evicted counts windows the rollup rings displaced before export.
+	Evicted uint64 `json:"evicted,omitempty"`
+}
+
+// Validate checks the header invariants a well-formed telemetry file
+// satisfies.
+func (m MetricsMeta) Validate() error {
+	switch {
+	case m.Schema != MetricsSchema:
+		return fmt.Errorf("obs: metrics schema %q, want %q", m.Schema, MetricsSchema)
+	case m.Windows < 0:
+		return fmt.Errorf("obs: negative window count %d", m.Windows)
+	case m.Dumps < 0:
+		return fmt.Errorf("obs: negative dump count %d", m.Dumps)
+	case m.Interval <= 0:
+		return fmt.Errorf("obs: non-positive rollup interval %s", m.Interval)
+	case m.Clock == "":
+		return fmt.Errorf("obs: metrics meta missing clock mode")
+	default:
+		return nil
+	}
+}
+
+// WriteMetrics encodes a telemetry artifact as JSONL: one meta line, then
+// the windows, then the dumps. The meta's Schema and the two counts are
+// filled in here; callers set the provenance fields. Window and dump
+// order must already be deterministic (the exp telemetry tree collects
+// depth-first in fork order), so the bytes are reproducible across
+// scheduler parallelism.
+func WriteMetrics(w io.Writer, meta MetricsMeta, windows []WindowRecord, dumps []Dump) error {
+	meta.Schema = MetricsSchema
+	meta.Windows = len(windows)
+	meta.Dumps = len(dumps)
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("obs: encode metrics meta: %w", err)
+	}
+	for i, rec := range windows {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("obs: encode window %d: %w", i, err)
+		}
+	}
+	for i, d := range dumps {
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("obs: encode dump %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: flush metrics: %w", err)
+	}
+	return nil
+}
+
+// ReadMetrics decodes a telemetry artifact written by WriteMetrics,
+// validating the schema version and that the file holds exactly the
+// window and dump counts the header promises.
+func ReadMetrics(r io.Reader) (MetricsMeta, []WindowRecord, []Dump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return MetricsMeta{}, nil, nil, fmt.Errorf("obs: read metrics header: %w", err)
+		}
+		return MetricsMeta{}, nil, nil, fmt.Errorf("obs: empty metrics file")
+	}
+	var meta MetricsMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return MetricsMeta{}, nil, nil, fmt.Errorf("obs: decode metrics header: %w", err)
+	}
+	if err := meta.Validate(); err != nil {
+		return MetricsMeta{}, nil, nil, err
+	}
+	windows := make([]WindowRecord, 0, meta.Windows)
+	dumps := make([]Dump, 0, meta.Dumps)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if len(windows) < meta.Windows {
+			var rec WindowRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return MetricsMeta{}, nil, nil, fmt.Errorf("obs: decode window %d: %w", len(windows), err)
+			}
+			windows = append(windows, rec)
+			continue
+		}
+		var d Dump
+		if err := json.Unmarshal(line, &d); err != nil {
+			return MetricsMeta{}, nil, nil, fmt.Errorf("obs: decode dump %d: %w", len(dumps), err)
+		}
+		dumps = append(dumps, d)
+	}
+	if err := sc.Err(); err != nil {
+		return MetricsMeta{}, nil, nil, fmt.Errorf("obs: read metrics: %w", err)
+	}
+	if len(windows) != meta.Windows {
+		return MetricsMeta{}, nil, nil, fmt.Errorf("obs: metrics file holds %d windows, header promises %d", len(windows), meta.Windows)
+	}
+	if len(dumps) != meta.Dumps {
+		return MetricsMeta{}, nil, nil, fmt.Errorf("obs: metrics file holds %d dumps, header promises %d", len(dumps), meta.Dumps)
+	}
+	return meta, windows, dumps, nil
+}

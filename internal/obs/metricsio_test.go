@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTelemetry() ([]WindowRecord, []Dump) {
+	windows := []WindowRecord{
+		{
+			Src: "E10/1000", Index: 0, Start: 0, End: time.Second,
+			Counters: []RateSample{{Name: "city.sent", Total: 100, Delta: 100, PerSec: 100}},
+			Gauges:   []GaugeSample{{Name: "q.depth", Value: 3}},
+			Hists: []WindowHist{{
+				Name: "detect.latency_ns.flood", Delta: 2, Count: 2, Sum: 100,
+				P50: 48, P95: 60, P99: 60, CumP50: 48, CumP95: 60, CumP99: 60,
+			}},
+		},
+		{Src: "E10/1000", Index: 1, Start: time.Second, End: 2 * time.Second},
+	}
+	dumps := []Dump{{
+		Src: "E10/1000", Time: 1500 * time.Millisecond,
+		Reasons: []string{"alert", "slo-breach"}, Suppressed: 3,
+		Spans: []Span{{Seq: 1, Time: time.Second, Layer: LayerCore, Op: "alert"}},
+	}}
+	return windows, dumps
+}
+
+// TestMetricsRoundTrip: WriteMetrics then ReadMetrics reproduces the
+// windows and dumps exactly, and two writes are byte-identical.
+func TestMetricsRoundTrip(t *testing.T) {
+	windows, dumps := sampleTelemetry()
+	meta := MetricsMeta{Seed: 7, Clock: "step", Source: "test", Interval: time.Second}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, meta, windows, dumps); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteMetrics(&buf2, meta, windows, dumps); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two writes of the same telemetry differ")
+	}
+
+	got, gw, gd, err := ReadMetrics(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != MetricsSchema || got.Windows != 2 || got.Dumps != 1 || got.Seed != 7 {
+		t.Errorf("meta = %+v", got)
+	}
+	if len(gw) != 2 || gw[0].Counters[0].Name != "city.sent" || gw[0].Hists[0].P95 != 60 {
+		t.Errorf("windows = %+v", gw)
+	}
+	if len(gd) != 1 || gd[0].Suppressed != 3 || gd[0].Spans[0].Op != "alert" {
+		t.Errorf("dumps = %+v", gd)
+	}
+
+	// Re-encoding the decoded telemetry reproduces the file.
+	var buf3 bytes.Buffer
+	if err := WriteMetrics(&buf3, got, gw, gd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf3.Bytes()) {
+		t.Fatal("decode/encode round trip changed bytes")
+	}
+}
+
+// TestMetricsValidation: wrong schema, truncation, and count mismatches
+// are rejected.
+func TestMetricsValidation(t *testing.T) {
+	windows, dumps := sampleTelemetry()
+	meta := MetricsMeta{Seed: 1, Clock: "step", Interval: time.Second}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, meta, windows, dumps); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, _, err := ReadMetrics(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+	bad := strings.Replace(buf.String(), MetricsSchema, "xlf-metrics/v999", 1)
+	if _, _, _, err := ReadMetrics(strings.NewReader(bad)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n")
+	if _, _, _, err := ReadMetrics(strings.NewReader(truncated)); err == nil {
+		t.Error("truncated file accepted")
+	}
+	if err := (MetricsMeta{Schema: MetricsSchema, Clock: "step"}).Validate(); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := (MetricsMeta{Schema: MetricsSchema, Interval: 1}).Validate(); err == nil {
+		t.Error("missing clock accepted")
+	}
+}

@@ -240,7 +240,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var s Snapshot
+	s := Snapshot{
+		Counters:   make([]CounterSample, 0, len(r.counters)),
+		Gauges:     make([]GaugeSample, 0, len(r.gauges)),
+		Histograms: make([]HistSample, 0, len(r.histograms)),
+	}
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterSample{Name: name, Value: c.Value()})
 	}

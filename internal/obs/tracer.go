@@ -79,6 +79,7 @@ type Tracer struct {
 	n       int // occupied slots
 	seq     uint64
 	evicted uint64
+	rec     *FlightRecorder
 }
 
 // NewTracer builds a tracer with the given ring capacity (DefaultCapacity
@@ -103,6 +104,18 @@ func (t *Tracer) SetClock(clock func() time.Duration) {
 	}
 	t.mu.Lock()
 	t.clock = clock
+	t.mu.Unlock()
+}
+
+// SetRecorder tees every emitted span into the given flight recorder
+// (nil detaches). The recorder sees spans after Seq assignment, so its
+// dumps carry trace-consistent sequence numbers. Nil-safe.
+func (t *Tracer) SetRecorder(rec *FlightRecorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.rec = rec
 	t.mu.Unlock()
 }
 
@@ -254,6 +267,9 @@ func (t *Tracer) emitLocked(s Span) {
 		t.n++
 	} else {
 		t.evicted++
+	}
+	if t.rec != nil {
+		t.rec.Record(s)
 	}
 }
 

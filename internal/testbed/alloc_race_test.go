@@ -1,0 +1,5 @@
+//go:build race
+
+package testbed
+
+func init() { raceEnabledTestbed = true }

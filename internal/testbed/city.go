@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xlf/internal/netsim"
+	"xlf/internal/obs"
 	"xlf/internal/sim"
 )
 
@@ -34,6 +35,30 @@ type City struct {
 	tick      func(any)
 	delivered []uint64 // per-district
 	sent      uint64
+
+	// Telemetry pipeline (nil unless CityConfig.RollupInterval > 0; see
+	// citytelemetry.go). The hot paths hold the instruments directly, so
+	// the disabled state costs one nil branch per event.
+	reg           *obs.Registry
+	rollup        *obs.Rollup
+	det           *obs.DetectionTracker
+	rec           *obs.FlightRecorder
+	cSent         *obs.Counter
+	cDelivered    *obs.Counter
+	cAttackSent   *obs.Counter
+	cFloodFlagged *obs.Counter
+	cDropped      *obs.Counter
+
+	// Per-district flood detector state, reset every window.
+	windowCount    []uint64
+	mgIdx          []int // Boyer-Moore majority candidate (sensor index)
+	mgCnt          []uint32
+	floodThreshold uint64
+	lastDropped    uint64
+
+	attackers     []cityAttacker
+	attackTick    func(any)
+	telemetryTick func(any)
 }
 
 // CityConfig sizes the scenario. Zero values pick scenario defaults.
@@ -49,6 +74,21 @@ type CityConfig struct {
 	ReportEvery time.Duration
 	// Horizon is how much simulated time Run covers (default 60s).
 	Horizon time.Duration
+
+	// RollupInterval, when positive, enables the telemetry pipeline: a
+	// Rollup over the city's metrics registry ticked at this sim-time
+	// interval, a detection-latency tracker, and an anomaly flight
+	// recorder (citytelemetry.go). Zero disables all of it.
+	RollupInterval time.Duration
+	// RollupWindows bounds the rollup ring (default
+	// obs.DefaultRollupWindows).
+	RollupWindows int
+	// DetectionSLO is the detection-latency objective (default
+	// obs.DefaultDetectionSLO).
+	DetectionSLO time.Duration
+	// Attacks is the scripted attack timeline; requires RollupInterval
+	// > 0 (the flood detector scans per rollup window).
+	Attacks []CityAttack
 }
 
 // citySensor is one device's entire footprint: its reusable packet and its
@@ -112,7 +152,7 @@ func NewCity(cfg CityConfig) (*City, error) {
 		d := d
 		sink := &netsim.FuncNode{
 			Address: districtAddr(d),
-			Fn:      func(*netsim.Network, *netsim.Packet) { c.delivered[d]++ },
+			Fn:      func(_ *netsim.Network, p *netsim.Packet) { c.deliver(d, p) },
 		}
 		if err := c.Net.Attach(sink, sinkLink); err != nil {
 			return nil, fmt.Errorf("testbed: city sink %d: %w", d, err)
@@ -123,6 +163,7 @@ func NewCity(cfg CityConfig) (*City, error) {
 	c.tick = func(a any) {
 		s := a.(*citySensor)
 		s.city.sent++
+		s.city.cSent.Inc()
 		s.city.Net.Send(&s.pkt)
 		s.city.Kernel.ScheduleArg(s.period, "city-report", s.city.tick, a)
 	}
@@ -142,7 +183,43 @@ func NewCity(cfg CityConfig) (*City, error) {
 		offset := time.Duration(rng.Int63n(int64(cfg.ReportEvery)))
 		c.Kernel.ScheduleArg(offset, "city-report", c.tick, s)
 	}
+	if err := c.initTelemetry(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// deliver is every district sink's receive path: one counter per report
+// plus, when telemetry is on, the per-window flood-attribution state and
+// the exfiltration size check. Per-event, so it must not allocate.
+//
+//xlf:hotpath
+func (c *City) deliver(d int, p *netsim.Packet) {
+	c.delivered[d]++
+	c.cDelivered.Inc()
+	if c.reg == nil {
+		return
+	}
+	c.windowCount[d]++
+	if i := sensorIndexOf(p.Src); i >= 0 {
+		// Boyer-Moore majority vote: the flood source dominates its
+		// district's window traffic, so the surviving candidate at scan
+		// time attributes the flood without per-sender state.
+		switch {
+		case c.mgCnt[d] == 0:
+			c.mgIdx[d] = i
+			c.mgCnt[d] = 1
+		case c.mgIdx[d] == i:
+			c.mgCnt[d]++
+		default:
+			c.mgCnt[d]--
+		}
+	}
+	if p.Size >= exfilSizeThreshold {
+		now := c.Kernel.Now()
+		c.det.Observe(now, string(p.Src))
+		c.rec.Trigger(now, obs.TriggerAlert)
+	}
 }
 
 func districtAddr(d int) netsim.Addr {

@@ -66,6 +66,10 @@ type Home struct {
 	// GatewaySessions are the core-side peers of Sessions.
 	GatewaySessions map[string]*channel.Session
 
+	// Detections, when set, is handed to AttackEnv so attacks timestamp
+	// their injections for the detection-latency SLO pipeline.
+	Detections *obs.DetectionTracker
+
 	tracer *obs.Tracer
 }
 
@@ -328,6 +332,7 @@ func (h *Home) AttackEnv() *attack.Env {
 		OTA:         h.OTA,
 		AttackerWAN: "wan:attacker",
 		AttackerLAN: "lan:attacker",
+		Detections:  h.Detections,
 	}
 }
 

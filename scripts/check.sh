@@ -95,6 +95,19 @@ go run -race ./cmd/xlf-bench -exp E1 -clock step -seed 1 -parallel 4 \
 cmp "$benchdir/trace-sequential.jsonl" "$benchdir/trace-parallel.jsonl"
 go run ./cmd/xlf-trace "$benchdir/trace-sequential.jsonl" >"$benchdir/trace-timeline.txt"
 
+# Telemetry determinism: with the step clock and telemetry enabled, the
+# serialized xlf-metrics/v1 artifact (rollup windows + flight-recorder
+# dumps, attack timeline included) must be byte-identical across
+# -parallel levels with the worker pool under the race detector, and
+# `xlf-trace metrics` must render it.
+echo '>> telemetry determinism (rollups on, parallel 8 vs sequential, race detector)'
+go run -race ./cmd/xlf-bench -exp E10 -clock step -seed 1 -parallel 1 \
+	-telemetry "$benchdir/metrics-sequential.jsonl" >/dev/null
+go run -race ./cmd/xlf-bench -exp E10 -clock step -seed 1 -parallel 8 \
+	-telemetry "$benchdir/metrics-parallel.jsonl" >/dev/null
+cmp "$benchdir/metrics-sequential.jsonl" "$benchdir/metrics-parallel.jsonl"
+go run ./cmd/xlf-trace metrics "$benchdir/metrics-sequential.jsonl" >"$benchdir/metrics-rollup.txt"
+
 # Non-blocking: disabled-tracer overhead on the Core hot path. The two
 # ingest benchmarks must stay within noise of each other; the numbers are
 # printed for the log, never gating (micro-benchmarks flap on shared CI).
