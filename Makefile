@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-fix vet-concurrency vet-determinism fmt check report bench
+.PHONY: build test race vet vet-fix vet-concurrency vet-determinism vet-shardsafe fmt check report bench
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ vet-concurrency:
 # experiment code. check.sh runs the same set under -race.
 vet-determinism:
 	$(GO) run ./cmd/xlf-vet -only determinism,detflow,globalmut,maporder,hotpathalloc -baseline vet-baseline.json ./...
+
+# vet-shardsafe runs just the ownership/shard-isolation layer — the
+# shardescape, shardhandle and shardphase rules over the //xlf:owned and
+# //xlf:phase annotations — for quick iteration while sharding the
+# kernel (ROADMAP item 2). check.sh runs the same set under -race.
+vet-shardsafe:
+	$(GO) run ./cmd/xlf-vet -only shardsafe -baseline vet-baseline.json ./...
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkVetShardSafe measures the full cost of the ownership/shard-
+// isolation family over the real tree: module load, tolerant type
+// check, call-graph construction, the escape and phase fixed points,
+// and the per-package checks. It is informational in CI (check.sh runs
+// it with -benchtime=1x); the blocking budget is TestVetWarmWallBudget.
+func BenchmarkVetShardSafe(b *testing.B) {
+	root := repoRoot(b)
+	base := filepath.Join(root, "vet-baseline.json")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-root", root, "-only", "shardsafe", "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+			b.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+		}
+	}
+}
+
+// vetSeed mirrors bench/seed/VET.json, the committed wall-time budget
+// for the warm-cache full-module run.
+type vetSeed struct {
+	Schema     string  `json:"schema"`
+	WarmWallNS int64   `json:"warm_wall_ns"`
+	Tolerance  float64 `json:"tolerance"`
+}
+
+// TestVetWarmWallBudget is the growth guard for analyzer cost: a
+// warm-cache full-module run must finish within tolerance (1.25x) of
+// the budget committed in bench/seed/VET.json. Wall-clock timing flaps
+// on shared machines, so the guard only runs when check.sh/CI opt in
+// with XLF_VET_WALL_GUARD=1, and it takes the best of three warm runs
+// to shed scheduler noise.
+func TestVetWarmWallBudget(t *testing.T) {
+	if os.Getenv("XLF_VET_WALL_GUARD") != "1" {
+		t.Skip("set XLF_VET_WALL_GUARD=1 to run the wall-time budget guard")
+	}
+	root := repoRoot(t)
+	data, err := os.ReadFile(filepath.Join(root, "bench", "seed", "VET.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed vetSeed
+	if err := json.Unmarshal(data, &seed); err != nil {
+		t.Fatalf("bad bench/seed/VET.json: %v", err)
+	}
+	if seed.Schema != "xlf-vet-wall/v1" || seed.WarmWallNS <= 0 || seed.Tolerance < 1 {
+		t.Fatalf("implausible budget: %+v", seed)
+	}
+
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	vet := func() time.Duration {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		args := []string{"-root", root, "-baseline", filepath.Join(root, "vet-baseline.json"), "-cache-dir", cacheDir, "./..."}
+		start := time.Now()
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+		}
+		return time.Since(start)
+	}
+
+	vet() // cold: populate the cache, never timed
+	best := vet()
+	for i := 0; i < 2; i++ {
+		if d := vet(); d < best {
+			best = d
+		}
+	}
+	budget := time.Duration(float64(seed.WarmWallNS) * seed.Tolerance)
+	t.Logf("warm vet: best of 3 = %v, budget = %v (%.2fx of %v)",
+		best, budget, seed.Tolerance, time.Duration(seed.WarmWallNS))
+	if best > budget {
+		t.Fatalf("warm-cache vet took %v, over the %v budget — either make the analyzers cheaper or consciously re-record bench/seed/VET.json", best, budget)
+	}
+}

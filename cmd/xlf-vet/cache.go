@@ -24,7 +24,7 @@ import (
 
 // cacheSchema invalidates all entries when the on-disk shape or the
 // analyzer implementations change in ways the source hash cannot see.
-const cacheSchema = "xlf-vet-cache-v3"
+const cacheSchema = "xlf-vet-cache-v4"
 
 // vetCache is a directory of per-package finding lists keyed by the
 // module context hash.

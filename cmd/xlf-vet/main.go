@@ -19,8 +19,16 @@
 // packages through any depth of cross-package helpers), globalmut
 // (writes to mutable package-level state reachable from shard-state
 // packages) and maporder (map iteration order escaping into returns,
-// sinks, or unsorted appends). See internal/analysis for the rules and
-// DESIGN.md for the architecture table they enforce.
+// sinks, or unsorted appends) — plus the ownership & shard-isolation
+// family: shardescape (values from //xlf:owned constructors must stay
+// confined to their declared domain — no package-level stores, go
+// captures, channel sends, or returns past the holder set, tracked
+// interprocedurally with witness chains), shardhandle
+// (generation-checked tokens like sim.Handle must not cross goroutine
+// or domain boundaries) and shardphase (//xlf:phase barrier
+// discipline: only window-phase code crosses phases). See
+// internal/analysis for the rules and DESIGN.md for the architecture
+// table they enforce.
 //
 // Usage:
 //
@@ -30,7 +38,9 @@
 //	xlf-vet -sarif ./...               # SARIF 2.1.0 (code-scanning upload)
 //	xlf-vet -disable lockcheck ./...   # drop rules for one run
 //	xlf-vet -only lockorder,goroleak ./...  # run only the named rules
+//	xlf-vet -only shardsafe ./...      # family alias: shardescape,shardhandle,shardphase
 //	xlf-vet -baseline vet.json ./...   # report only findings not in the baseline
+//	xlf-vet -baseline vet.json -strict-baseline ./...  # stale waivers fail the run
 //	xlf-vet -baseline vet.json -write-baseline ./...  # freeze current findings
 //	xlf-vet -baseline vet.json -prune-baseline ./...  # drop stale waivers
 //	xlf-vet -parallel 8 ./...          # per-package worker pool
@@ -68,8 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		jsonOut   = fs.Bool("json", false, "emit findings as JSON")
 		sarifOut  = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
-		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,detflow,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak,lockorder,goroleak,atomicmix,hotpathalloc,globalmut,maporder)")
-		only      = fs.String("only", "", "comma-separated rules to run, dropping all others (same names as -disable)")
+		disable   = fs.String("disable", "", "comma-separated rules to skip (layercheck,determinism,detflow,lockcheck,errdrop,pairing,cryptomisuse,deadstore,unreachable,plaintextescape,secretleak,lockorder,goroleak,atomicmix,hotpathalloc,globalmut,maporder,shardescape,shardhandle,shardphase)")
+		only      = fs.String("only", "", "comma-separated rules to run, dropping all others (same names as -disable; the family alias shardsafe expands to shardescape,shardhandle,shardphase)")
 		root      = fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 		baseline  = fs.String("baseline", "", "baseline file: suppress the findings recorded in it")
 		writeBase = fs.Bool("write-baseline", false, "write current findings to the -baseline file and exit clean")
@@ -77,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel  = fs.Int("parallel", runtime.NumCPU(), "package-level analysis workers")
 		cacheDir  = fs.String("cache-dir", "", "directory for the per-package result cache (empty disables caching)")
 		fix       = fs.Bool("fix", false, "apply suggested edits for mechanical findings")
+		strict    = fs.Bool("strict-baseline", false, "fail (exit 1) when the -baseline file carries stale waivers; requires a full-module run with every rule enabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *pruneBase && *writeBase {
 		fmt.Fprintln(stderr, "xlf-vet: -prune-baseline and -write-baseline are mutually exclusive")
+		return 2
+	}
+	if *strict && *baseline == "" {
+		fmt.Fprintln(stderr, "xlf-vet: -strict-baseline requires -baseline <file>")
 		return 2
 	}
 
@@ -178,15 +193,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	suppressed := 0
+	staleWaivers := 0
 	if *baseline != "" {
 		b, err := analysis.LoadBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintln(stderr, "xlf-vet:", err)
 			return 2
 		}
+		if *strict && !fullRun {
+			// A narrowed run misses findings in skipped packages and would
+			// misreport their waivers as stale — failing on that would be
+			// noise, and passing would be false confidence.
+			fmt.Fprintln(stderr, "xlf-vet: -strict-baseline requires a full-module run with every rule enabled")
+			return 2
+		}
 		if fullRun {
-			for _, stale := range b.Unmatched(findings) {
-				fmt.Fprintf(stderr, "xlf-vet: stale baseline waiver (no finding matches): %s\n", stale)
+			stale := b.Unmatched(findings)
+			staleWaivers = len(stale)
+			for _, s := range stale {
+				fmt.Fprintf(stderr, "xlf-vet: stale baseline waiver (no finding matches): %s\n", s)
 			}
 		}
 		findings, suppressed = b.Filter(findings)
@@ -232,6 +257,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stderr, "xlf-vet: %d finding(s)\n", len(findings))
 		}
+		return 1
+	}
+	if *strict && staleWaivers > 0 {
+		fmt.Fprintf(stderr, "xlf-vet: %d stale baseline waiver(s); run -prune-baseline to remove them\n", staleWaivers)
 		return 1
 	}
 	if suppressed > 0 {
@@ -329,12 +358,24 @@ func findModuleRoot() (string, error) {
 // ones, or — when only is non-empty — just the named rules, in their
 // canonical XLFAnalyzers order.
 func selectAnalyzers(disable, only string) ([]analysis.Analyzer, error) {
+	// Family aliases expand to their member rules in both -only and
+	// -disable.
+	families := map[string][]string{
+		"shardsafe": {"shardescape", "shardhandle", "shardphase"},
+	}
 	ruleSet := func(csv string) map[string]bool {
 		set := make(map[string]bool)
 		for _, name := range strings.Split(csv, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				set[name] = true
+			if name = strings.TrimSpace(name); name == "" {
+				continue
 			}
+			if members, ok := families[name]; ok {
+				for _, m := range members {
+					set[m] = true
+				}
+				continue
+			}
+			set[name] = true
 		}
 		return set
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 // repoRoot walks up to the module root so tests can vet the real tree.
-func repoRoot(t *testing.T) string {
+func repoRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {
@@ -111,15 +111,36 @@ type Network struct{}
 func (n *Network) Send(p *Packet) {}
 `)
 	// plaintextescape: an unsealed device payload crossing into netsim.
+	// shardescape: a sim-owned kernel parked in package state; shardhandle:
+	// a generation token sent on a channel; shardphase: an ingest-phase
+	// function calling shard-phase dispatch.
 	write("internal/testbed/testbed.go", `package testbed
 
 import (
 	"xlf/internal/device"
 	"xlf/internal/netsim"
+	"xlf/internal/sim"
 )
 
 func Keepalive(n *netsim.Network) {
 	n.Send(&netsim.Packet{Payload: device.NewPayload("d1", "keepalive", "")})
+}
+
+var captive *sim.Kernel
+
+func Boot() {
+	k := sim.NewKernel()
+	captive = k
+}
+
+func Post(ch chan sim.Handle, k *sim.Kernel) {
+	h := k.Schedule()
+	ch <- h
+}
+
+//xlf:phase(ingest)
+func Ingest(k *sim.Kernel) {
+	k.Step()
 }
 `)
 	// metrics is outside the deterministic set: its clock read is only
@@ -140,6 +161,9 @@ func Tick() int64 { return metrics.Stamp() }
 `)
 	// determinism: a wall-clock read inside the simulator; globalmut: a
 	// package-level write; maporder: keys collected in iteration order.
+	// The package also hosts the shardsafe roster — the owned constructor,
+	// the generation token and the shard-phase dispatcher — consumed by
+	// the testbed violations below.
 	write("internal/sim/sim.go", `package sim
 
 import "time"
@@ -157,6 +181,20 @@ func Keys(m map[string]int) []string {
 	}
 	return out
 }
+
+type Kernel struct{ n int }
+
+// NewKernel builds per-run kernel state.
+//
+//xlf:owned(sim)
+func NewKernel() *Kernel { return &Kernel{} }
+
+type Handle struct{ slot, gen uint32 }
+
+func (k *Kernel) Schedule() Handle { return Handle{slot: 1} }
+
+//xlf:phase(shard)
+func (k *Kernel) Step() { k.n++ }
 `)
 	// lockcheck: a mutex-holder copied through a value receiver.
 	write("internal/core/core.go", `package core
@@ -235,6 +273,9 @@ func TestSeededViolationsFail(t *testing.T) {
 		{"internal/core/core.go", "lockcheck"},
 		{"internal/xauth/xauth.go", "errdrop"},
 		{"internal/testbed/testbed.go", "plaintextescape"},
+		{"internal/testbed/testbed.go", "shardescape"},
+		{"internal/testbed/testbed.go", "shardhandle"},
+		{"internal/testbed/testbed.go", "shardphase"},
 		{"internal/service/service.go", "secretleak"},
 		{"internal/core/core.go", "pairing"},
 		{"internal/dpi/dpi.go", "cryptomisuse"},
@@ -258,7 +299,7 @@ func TestSeededViolationsFail(t *testing.T) {
 func TestDisableDropsRule(t *testing.T) {
 	root := seedModule(t)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-root", root, "-disable", "cryptomisuse,deadstore,determinism,detflow,errdrop,globalmut,layercheck,lockcheck,maporder,pairing,plaintextescape,secretleak,unreachable", "./..."}, &stdout, &stderr)
+	code := run([]string{"-root", root, "-disable", "cryptomisuse,deadstore,determinism,detflow,errdrop,globalmut,layercheck,lockcheck,maporder,pairing,plaintextescape,secretleak,shardsafe,unreachable", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d with all rules disabled, want 0\n%s%s", code, stdout.String(), stderr.String())
 	}
@@ -408,8 +449,8 @@ func TestSARIFGolden(t *testing.T) {
 		t.Fatalf("want one run from driver xlf-vet, got %+v", log.Runs)
 	}
 	rules := log.Runs[0].Tool.Driver.Rules
-	if len(rules) != 17 {
-		t.Errorf("rules array has %d entries, want all 17 configured rules", len(rules))
+	if len(rules) != 20 {
+		t.Errorf("rules array has %d entries, want all 20 configured rules", len(rules))
 	}
 	for _, r := range log.Runs[0].Results {
 		if r.Level != "error" {
@@ -571,6 +612,78 @@ func Now(c func() time.Time) time.Time { return c() }
 	}
 	if strings.Contains(stderr.String(), "stale baseline waiver") {
 		t.Errorf("staleness survived the prune:\n%s", stderr.String())
+	}
+}
+
+// TestStrictBaseline: -strict-baseline turns stale-waiver warnings into
+// a failing exit, and refuses configurations where staleness cannot be
+// decided (no baseline, or a narrowed run).
+func TestStrictBaseline(t *testing.T) {
+	root := seedModule(t)
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	// The flag is meaningless without a baseline file.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-root", root, "-strict-baseline", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("strict without -baseline: exit %d, want 2\n%s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-write-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline: exit %d\n%s", code, stderr.String())
+	}
+
+	// Nothing stale: the strict run is as clean as the lenient one.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-strict-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("strict run with live waivers: exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	// A narrowed run skips packages, so staleness cannot be decided.
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-strict-baseline", "./internal/sim"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("strict on a narrowed run: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "full-module") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+
+	// Fix the simulator's wall-clock read: its waiver goes stale, and the
+	// strict run now fails where the lenient one only warns.
+	if err := os.WriteFile(filepath.Join(root, "internal/sim/sim.go"), []byte(`package sim
+
+import "time"
+
+func Now(c func() time.Time) time.Time { return c() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("lenient run with stale waiver: exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-strict-baseline", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("strict run with stale waiver: exit %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline waiver") || !strings.Contains(stderr.String(), "-prune-baseline") {
+		t.Errorf("stderr = %q, want the strict stale-waiver failure", stderr.String())
+	}
+
+	// Pruning restores the strict gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-prune-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("prune: exit %d\n%s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-root", root, "-baseline", base, "-strict-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("strict run after prune: exit %d, want 0\n%s%s", code, stdout.String(), stderr.String())
 	}
 }
 

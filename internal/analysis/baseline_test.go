@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineFinding(file, rule, message string) Finding {
+	return Finding{File: file, Rule: rule, Message: message}
+}
+
+// TestBaselineDuplicateKeys pins the documented collapse: several
+// findings with the same (file, rule, message) key become one entry,
+// and that one entry suppresses all of them.
+func TestBaselineDuplicateKeys(t *testing.T) {
+	dup := baselineFinding("a.go", "r", "m")
+	b := NewBaseline([]Finding{dup, dup, dup, baselineFinding("b.go", "r", "m")})
+
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(loaded.entries); got != 2 {
+		t.Fatalf("duplicate keys produced %d entries, want 2", got)
+	}
+	kept, suppressed := loaded.Filter([]Finding{dup, dup, dup})
+	if len(kept) != 0 || suppressed != 3 {
+		t.Fatalf("Filter(kept=%d, suppressed=%d), want (0, 3)", len(kept), suppressed)
+	}
+	// A stale-entry scan against only the duplicates leaves b.go stale.
+	if stale := loaded.Unmatched([]Finding{dup}); len(stale) != 1 || stale[0] != "b.go: [r] m" {
+		t.Fatalf("Unmatched = %q, want the b.go entry", stale)
+	}
+}
+
+// TestBaselineMergePreservesJustifications pins the -write-baseline
+// refreeze path: justifications survive the Merge of the old file into
+// the re-frozen set, entries that vanished do not resurrect, and new
+// entries start unjustified.
+func TestBaselineMergePreservesJustifications(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+
+	old := NewBaseline([]Finding{
+		baselineFinding("a.go", "r", "m"),
+		baselineFinding("gone.go", "r", "m"),
+	})
+	old.entries[baselineKey{"a.go", "r", "m"}] = "reviewed: demo key"
+	if err := old.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	prior, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewBaseline([]Finding{
+		baselineFinding("a.go", "r", "m"),
+		baselineFinding("new.go", "r", "m"),
+	})
+	fresh.Merge(prior)
+	if err := fresh.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.entries[baselineKey{"a.go", "r", "m"}]; got != "reviewed: demo key" {
+		t.Fatalf("justification lost across refreeze: %q", got)
+	}
+	if _, ok := reloaded.entries[baselineKey{"gone.go", "r", "m"}]; ok {
+		t.Fatal("entry absent from the fresh findings resurrected through Merge")
+	}
+	if got := reloaded.entries[baselineKey{"new.go", "r", "m"}]; got != "" {
+		t.Fatalf("new entry gained a justification from nowhere: %q", got)
+	}
+	// Merging nil must be a no-op, not a panic.
+	fresh.Merge(nil)
+}
+
+// TestBaselineEmptyRoundTrip pins the empty file: zero findings write a
+// loadable file that suppresses nothing, prunes nothing, and has no
+// stale entries.
+func TestBaselineEmptyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := NewBaseline(nil).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]\n" {
+		t.Fatalf("empty baseline serialized as %q, want %q", data, "[]\n")
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := baselineFinding("a.go", "r", "m")
+	if kept, suppressed := b.Filter([]Finding{f}); len(kept) != 1 || suppressed != 0 {
+		t.Fatalf("empty baseline suppressed a finding (kept=%d, suppressed=%d)", len(kept), suppressed)
+	}
+	if stale := b.Unmatched(nil); len(stale) != 0 {
+		t.Fatalf("empty baseline has stale entries: %q", stale)
+	}
+	if removed := b.Prune(nil); removed != 0 {
+		t.Fatalf("empty baseline pruned %d entries, want 0", removed)
+	}
+}
+
+// TestBaselinePruneKeepsJustifiedLiveEntries pins Prune's scope: only
+// unmatched entries go; live ones keep their justifications.
+func TestBaselinePruneKeepsJustifiedLiveEntries(t *testing.T) {
+	live := baselineFinding("live.go", "r", "m")
+	b := NewBaseline([]Finding{live, baselineFinding("dead.go", "r", "m")})
+	b.entries[baselineKey{"live.go", "r", "m"}] = "reviewed"
+	if removed := b.Prune([]Finding{live}); removed != 1 {
+		t.Fatalf("Prune removed %d, want 1", removed)
+	}
+	if got := b.entries[baselineKey{"live.go", "r", "m"}]; got != "reviewed" {
+		t.Fatalf("Prune dropped a live entry's justification: %q", got)
+	}
+	if len(b.entries) != 1 {
+		t.Fatalf("Prune left %d entries, want 1", len(b.entries))
+	}
+}

@@ -26,6 +26,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // AllowGoroLeakMarker waives a goroleak finding on its line (or the
@@ -80,6 +81,7 @@ func (g *GoroLeak) Check(pkg *Package) []Finding {
 			pt:      pt,
 			allowed: allowedLines(pkg.Fset, file.AST, AllowGoroLeakMarker),
 			wgObjs:  collectWaitGroups(pt, file.AST),
+			decls:   funcDeclIndex(pt, pkg),
 		}
 		for _, fn := range Functions(file.AST) {
 			w.checkFunction(fn)
@@ -136,7 +138,30 @@ type goroWalker struct {
 	pt      *pkgTypes
 	allowed map[int]bool
 	wgObjs  map[any]token.Pos
+	decls   map[*types.Func]*ast.FuncDecl
 	out     []Finding
+}
+
+// funcDeclIndex maps every declared function object in the package to
+// its declaration, so go statements launching named functions and
+// method values resolve to a checkable body.
+func funcDeclIndex(pt *pkgTypes, pkg *Package) map[*types.Func]*ast.FuncDecl {
+	if pt == nil {
+		return nil
+	}
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for fi := range pkg.Files {
+		for _, decl := range pkg.Files[fi].AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pt.info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
 }
 
 func (w *goroWalker) report(pos token.Pos, format string, args ...any) {
@@ -207,6 +232,7 @@ func (w *goroWalker) checkFunction(fn Function) {
 	for _, gs := range goStmts {
 		lit, ok := gs.Call.Fun.(*ast.FuncLit)
 		if !ok {
+			w.checkNamedGo(fn, gs)
 			continue
 		}
 		if fs := infiniteForNoExit(lit); fs != nil {
@@ -236,16 +262,103 @@ func isUnbufferedChanMake(e ast.Expr) bool {
 	return isChan
 }
 
+// checkNamedGo resolves go statements that launch a named function or
+// method — `go spin()`, `go p.run()`, or `f := p.run; go f()` — to the
+// callee's declaration in this package and applies the
+// unstoppable-loop check to its body. Anything unresolvable (cross-
+// package callees, reassigned function variables) stays quiet.
+func (w *goroWalker) checkNamedGo(fn Function, gs *ast.GoStmt) {
+	fd := w.resolveFuncDecl(fn, gs.Call.Fun, true)
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	if infiniteForNoExitBody(fd.Body) != nil {
+		w.report(gs.Pos(), "goroutine %s loops forever with no shutdown path (no return, break, receive or select); it can never be stopped", declDisplay(fd))
+	}
+}
+
+// resolveFuncDecl resolves a go statement's callee expression to a
+// function declared in this package. With followVars set, an identifier
+// bound exactly once to a method or function value inside fn resolves
+// through that binding.
+func (w *goroWalker) resolveFuncDecl(fn Function, e ast.Expr, followVars bool) *ast.FuncDecl {
+	if w.pt == nil || w.decls == nil {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := w.pt.info.Uses[e.Sel].(*types.Func); ok {
+			return w.decls[obj]
+		}
+	case *ast.Ident:
+		switch obj := w.pt.info.Uses[e].(type) {
+		case *types.Func:
+			return w.decls[obj]
+		case *types.Var:
+			if followVars {
+				return w.resolveFuncVar(fn, obj)
+			}
+		}
+	}
+	return nil
+}
+
+// resolveFuncVar resolves a function-typed local that is assigned
+// exactly once in fn to the declaration of the method or function value
+// it holds; multiple assignments make the target ambiguous.
+func (w *goroWalker) resolveFuncVar(fn Function, obj *types.Var) *ast.FuncDecl {
+	var rhs ast.Expr
+	multiple := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || w.pt.info.Defs[id] != types.Object(obj) && w.pt.info.Uses[id] != types.Object(obj) {
+				continue
+			}
+			if rhs != nil {
+				multiple = true
+				return false
+			}
+			rhs = as.Rhs[i]
+		}
+		return true
+	})
+	if rhs == nil || multiple {
+		return nil
+	}
+	return w.resolveFuncDecl(fn, rhs, false)
+}
+
+// declDisplay names a declaration for diagnostics: "run" or "pump.run".
+func declDisplay(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if recv := recvTypeName(fd.Recv.List[0].Type); recv != "" {
+			return recv + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
 // infiniteForNoExit finds a `for { ... }` loop inside the goroutine
 // body whose body contains no construct that could ever leave it or
 // park it on an external signal. Nested function literals are opaque.
 func infiniteForNoExit(lit *ast.FuncLit) *ast.ForStmt {
+	return infiniteForNoExitBody(lit.Body)
+}
+
+// infiniteForNoExitBody is infiniteForNoExit over any function body —
+// literal or declared.
+func infiniteForNoExitBody(body *ast.BlockStmt) *ast.ForStmt {
 	var bad *ast.ForStmt
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if bad != nil {
 			return false
 		}
-		if _, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(lit) {
+		if _, isLit := n.(*ast.FuncLit); isLit {
 			return false
 		}
 		fs, ok := n.(*ast.ForStmt)

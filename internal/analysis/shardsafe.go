@@ -1,0 +1,955 @@
+package analysis
+
+// The shardsafe rule family is the static contract the parallel-
+// simulation arc (ROADMAP items 2–3) is written against. A conservative-
+// PDES kernel partitions the run into ownership domains — per-shard
+// kernels and RNGs, per-run networks, per-experiment Env trees, per-run
+// observability state — and the byte-identity guarantee holds only while
+// every owned value stays confined to the domain that created it. One
+// leaked reference (a kernel stored in a package global, an Env captured
+// by a worker goroutine, a Handle sent across shards) is a data race
+// and a replay divergence that no test reliably reproduces. The three
+// rules here catch those flows at vet time, before the sharding PRs
+// write the code:
+//
+//   - shardescape: an interprocedural escape/ownership analysis. A
+//     constructor annotated //xlf:owned(domain) declares that every
+//     value it returns belongs to that domain; the rule tracks those
+//     values through local bindings and cross-package helper calls and
+//     reports any flow that lets one escape — stored into package-level
+//     state, captured by (or passed to) a go statement, sent on a
+//     channel, or returned from a package outside the domain's declared
+//     holder set. Helpers that return an owned value from inside the
+//     domain become producers themselves (computed to a fixed point),
+//     and helpers that leak a parameter are reported at the call site
+//     that handed them the owned value, with a deterministic BFS
+//     witness chain like detflow's.
+//
+//   - shardhandle: generation-checked tokens (sim.Handle and anything
+//     else configured) are safe against stale use precisely because a
+//     stale Cancel is a silent no-op — which turns into a masked lost
+//     cancellation the moment a handle crosses a goroutine or domain
+//     boundary and races the slot's recycling. The rule flags handles
+//     sent on channels, captured by or passed to go statements, and
+//     stored in package-level state.
+//
+//   - shardphase: the barrier discipline of the window-synchronised
+//     PDES design. //xlf:phase(NAME) annotates a function with the
+//     phase it runs in; "window" is the barrier phase, the only one in
+//     which cross-domain reads and writes are legal. A function in any
+//     other phase must not reach — through any depth of unannotated
+//     helpers — a function annotated with a different phase; barrier
+//     functions may call anything. Violations are reported at the
+//     boundary call site with a witness chain.
+//
+// All three honor //xlf:allow-shardsafe on the offending line (or the
+// function's doc comment), and the driver's baseline/waiver workflow on
+// top of that.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OwnedMarker declares a constructor's results owned by a domain:
+// //xlf:owned(domain).
+const OwnedMarker = "xlf:owned"
+
+// PhaseMarker declares the phase a function runs in: //xlf:phase(name).
+const PhaseMarker = "xlf:phase"
+
+// BarrierPhase is the privileged phase name: barrier-phase functions
+// run at window boundaries and may touch any domain.
+const BarrierPhase = "window"
+
+// AllowShardSafeMarker waives a shardsafe-family finding on its line
+// (or the whole function when placed in the doc comment).
+const AllowShardSafeMarker = "xlf:allow-shardsafe"
+
+// paramDomain is the sentinel domain used while computing a function's
+// parameter-escape summary; the NUL prefix keeps it disjoint from any
+// declarable domain name.
+const paramDomain = "\x00param"
+
+// TokenType names a generation-checked token type for the shardhandle
+// rule: values of this (possibly pointered) named type must not cross
+// goroutine, channel or package-level boundaries.
+type TokenType struct {
+	Pkg  string // declaring package import path
+	Name string // type name
+}
+
+func (t TokenType) display() string {
+	return t.Pkg[strings.LastIndex(t.Pkg, "/")+1:] + "." + t.Name
+}
+
+// shardSafe is the shared core behind the three analyzers: one
+// directive scan, one producer fixed point and one parameter-escape
+// fixed point over the module, all read-only once Prepare returns.
+type shardSafe struct {
+	// domains maps each declared ownership domain to the packages
+	// (exact or "prefix/...") allowed to hold and return its values.
+	domains map[string][]string
+	tokens  []TokenType
+
+	graph    *CallGraph
+	prepared bool
+
+	// owned maps a constructor's funcKey to the domain its directive
+	// declares.
+	owned map[string]string
+	// producers maps funcKey → domain for functions that (transitively)
+	// return an owned value from inside the domain's holder set.
+	producers map[string]string
+	// homes maps each domain to the packages its constructors live in,
+	// used to type-filter multi-result bindings.
+	homes map[string]map[string]bool
+	// paramEsc maps funcKey → per-parameter escape description ("" when
+	// the parameter stays confined). Receivers are parameter 0.
+	paramEsc map[string][]string
+	// paramDirect marks functions whose own body escapes a parameter,
+	// for witness chains.
+	paramDirect map[string]bool
+	// phase maps funcKey → declared phase name.
+	phase map[string]string
+	// phaseReach maps funcKey → sorted keys of phase-annotated
+	// functions reachable through unannotated helpers only.
+	phaseReach map[string][]string
+	// bad holds directive-grammar and configuration findings collected
+	// during Prepare, keyed by package for per-package Check emission.
+	bad map[*Package][]Finding
+}
+
+// NewShardSafeSuite builds the shardsafe family — shardescape,
+// shardhandle and shardphase — on a shared call graph (nil builds a
+// private one). domains maps ownership-domain names to their allowed
+// holder packages; tokens lists the generation-checked token types.
+func NewShardSafeSuite(domains map[string][]string, tokens []TokenType, g *CallGraph) []Analyzer {
+	if g == nil {
+		g = NewCallGraph()
+	}
+	core := &shardSafe{domains: domains, tokens: tokens, graph: g}
+	return []Analyzer{
+		&ShardEscape{core: core},
+		&ShardHandle{core: core},
+		&ShardPhase{core: core},
+	}
+}
+
+// directiveArg parses one "//marker(arg)" doc-directive from a
+// declaration's raw comment list. ok reports whether the marker was
+// present at all; a present marker with a malformed or empty argument
+// returns arg == "".
+func directiveArg(fd *ast.FuncDecl, marker string) (arg string, ok bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		rest, found := strings.CutPrefix(c.Text, "//"+marker)
+		if !found {
+			continue
+		}
+		ok = true
+		rest, found = strings.CutPrefix(rest, "(")
+		if !found {
+			continue
+		}
+		if i := strings.IndexByte(rest, ')'); i > 0 && validDirectiveName(rest[:i]) {
+			return rest[:i], true
+		}
+	}
+	return "", ok
+}
+
+// validDirectiveName accepts the lower-case word grammar of domain and
+// phase names.
+func validDirectiveName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			continue
+		}
+		return false
+	}
+	return len(s) > 0
+}
+
+// followShardSafe matches globalmut: every precisely-resolved executing
+// edge counts; fallback guesses and bare references do not.
+func followShardSafe(e CallEdge) bool { return !e.Fallback && e.Kind != EdgeRef }
+
+// prepare runs the shared analysis once: directive scan, producer fixed
+// point, parameter-escape fixed point, phase reachability.
+func (s *shardSafe) prepare(pkgs []*Package) {
+	if s.prepared {
+		return
+	}
+	s.prepared = true
+	s.graph.Build(pkgs)
+
+	s.owned = make(map[string]string)
+	s.producers = make(map[string]string)
+	s.homes = make(map[string]map[string]bool)
+	s.phase = make(map[string]string)
+	s.bad = make(map[*Package][]Finding)
+
+	domainNames := make([]string, 0, len(s.domains))
+	for d := range s.domains {
+		domainNames = append(domainNames, d)
+	}
+	sort.Strings(domainNames)
+
+	for _, key := range s.graph.Keys() {
+		fn := s.graph.Func(key)
+		if fn.File.Test {
+			continue
+		}
+		if domain, ok := directiveArg(fn.Decl, OwnedMarker); ok {
+			switch {
+			case domain == "":
+				s.bad[fn.Pkg] = append(s.bad[fn.Pkg], fn.Pkg.finding("shardescape", fn.Decl.Pos(),
+					"malformed //%s directive on %s; the grammar is //%s(domain)",
+					OwnedMarker, fn.Decl.Name.Name, OwnedMarker))
+			case s.domains[domain] == nil:
+				s.bad[fn.Pkg] = append(s.bad[fn.Pkg], fn.Pkg.finding("shardescape", fn.Decl.Pos(),
+					"unknown ownership domain %q on %s (declared domains: %s)",
+					domain, fn.Decl.Name.Name, strings.Join(domainNames, ", ")))
+			case !matchPackages(s.domains[domain], fn.Pkg.ImportPath):
+				s.bad[fn.Pkg] = append(s.bad[fn.Pkg], fn.Pkg.finding("shardescape", fn.Decl.Pos(),
+					"constructor %s lives outside ownership domain %q's holder set",
+					fn.Decl.Name.Name, domain))
+			default:
+				s.owned[key] = domain
+				s.producers[key] = domain
+				if s.homes[domain] == nil {
+					s.homes[domain] = make(map[string]bool)
+				}
+				s.homes[domain][fn.Pkg.ImportPath] = true
+			}
+		}
+		if phase, ok := directiveArg(fn.Decl, PhaseMarker); ok {
+			if phase == "" {
+				s.bad[fn.Pkg] = append(s.bad[fn.Pkg], fn.Pkg.finding("shardphase", fn.Decl.Pos(),
+					"malformed //%s directive on %s; the grammar is //%s(name)",
+					PhaseMarker, fn.Decl.Name.Name, PhaseMarker))
+			} else {
+				s.phase[key] = phase
+			}
+		}
+	}
+
+	s.fixProducers()
+	s.fixParamEscapes()
+	s.fixPhases()
+}
+
+// fixProducers grows the producer set to a fixed point: a function
+// inside a domain's holder set that returns an owned value is itself a
+// source of owned values for its callers.
+func (s *shardSafe) fixProducers() {
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for _, key := range s.graph.Keys() {
+			fn := s.graph.Func(key)
+			if fn.File.Test || s.producers[key] != "" {
+				continue
+			}
+			w := s.newWalker(fn)
+			var returns string
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok && returns == "" {
+					for _, res := range ret.Results {
+						if d := w.exprDomain(res); d != "" {
+							returns = d
+							break
+						}
+					}
+				}
+				return true
+			})
+			if returns != "" && matchPackages(s.domains[returns], fn.Pkg.ImportPath) {
+				s.producers[key] = returns
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// fixParamEscapes computes, to a fixed point, which parameters a
+// function lets escape (global store, channel send, go capture, or by
+// handing them to a callee that escapes them).
+func (s *shardSafe) fixParamEscapes() {
+	s.paramEsc = make(map[string][]string)
+	s.paramDirect = make(map[string]bool)
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for _, key := range s.graph.Keys() {
+			fn := s.graph.Func(key)
+			if fn.File.Test {
+				continue
+			}
+			w := s.newWalker(fn)
+			esc := w.paramEscapes()
+			if !sameStrings(s.paramEsc[key], esc) {
+				s.paramEsc[key] = esc
+				changed = true
+				for _, d := range esc {
+					if d != "" && !strings.HasPrefix(d, "handed on to ") {
+						s.paramDirect[key] = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// fixPhases computes, for every function, the phase-annotated functions
+// it reaches through unannotated helpers only — annotated intermediates
+// cut propagation, their own gate covers them.
+func (s *shardSafe) fixPhases() {
+	direct := make(map[string][]string)
+	for _, key := range s.graph.Keys() {
+		fn := s.graph.Func(key)
+		for _, e := range fn.Edges {
+			if followShardSafe(e) && s.phase[e.Callee] != "" {
+				direct[key] = append(direct[key], e.Callee)
+			}
+		}
+	}
+	for key, facts := range direct {
+		direct[key] = dedupSorted(facts)
+	}
+	s.phaseReach = s.graph.Fixpoint(direct, func(e CallEdge) bool {
+		return followShardSafe(e) && s.phase[e.Callee] == ""
+	}, 0)
+}
+
+// calleeDomain reports the ownership domain of a resolved call's
+// result, or "".
+func (s *shardSafe) calleeDomain(key string) string { return s.producers[key] }
+
+// ownedBind records one local variable bound to an owned value.
+type ownedBind struct {
+	domain string
+	pos    token.Pos // binding site, for closure-capture classification
+}
+
+// shardWalker tracks owned bindings through one function body.
+type shardWalker struct {
+	core    *shardSafe
+	fn      *GraphFunc
+	pt      *pkgTypes
+	imports map[string]string
+	// bound maps ident objects to their owned binding.
+	bound map[any]ownedBind
+	// params holds the function's parameter objects (receiver first),
+	// for the summary mode and call-site argument mapping.
+	params []any
+}
+
+// newWalker builds a walker with the function's owned bindings already
+// collected.
+func (s *shardSafe) newWalker(fn *GraphFunc) *shardWalker {
+	w := &shardWalker{
+		core:    s,
+		fn:      fn,
+		pt:      s.graph.oracle.typesOf(fn.Pkg),
+		imports: importMap(fn.File.AST),
+		bound:   make(map[any]ownedBind),
+	}
+	if fn.Decl.Recv != nil && len(fn.Decl.Recv.List) > 0 {
+		w.params = append(w.params, fieldKeys(w.pt, fn.Decl.Recv.List[0])...)
+	}
+	for _, f := range fn.Decl.Type.Params.List {
+		w.params = append(w.params, fieldKeys(w.pt, f)...)
+	}
+	w.collectBindings()
+	return w
+}
+
+// collectBindings seeds the bound map: results of owned-constructor and
+// producer calls, plus plain copies of already-bound locals. Two passes
+// let a copy made lexically before its source's binding (rare, but
+// legal via goto) still resolve.
+func (w *shardWalker) collectBindings() {
+	for pass := 0; pass < 2; pass++ {
+		changed := false
+		ast.Inspect(w.fn.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// Multi-result form: h, err := New(...). Bind the result
+				// names whose static type lives in the domain's home
+				// package; without type info, bind them all.
+				if d := w.callDomain(as.Rhs[0]); d != "" {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && w.typeInHome(id, d) {
+							changed = w.bind(id, d, as.Pos()) || changed
+						}
+					}
+				}
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if d := w.exprDomain(rhs); d != "" {
+					changed = w.bind(id, d, as.Pos()) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// bind records an owned binding, reporting whether it was new.
+func (w *shardWalker) bind(id *ast.Ident, domain string, pos token.Pos) bool {
+	obj := identObj(w.pt, id)
+	if obj == nil {
+		return false
+	}
+	if _, ok := w.bound[obj]; ok {
+		return false
+	}
+	w.bound[obj] = ownedBind{domain: domain, pos: pos}
+	return true
+}
+
+// typeInHome reports whether the identifier's static named type is
+// declared in one of the domain's constructor packages; with no type
+// information it conservatively reports true.
+func (w *shardWalker) typeInHome(id *ast.Ident, domain string) bool {
+	if w.pt == nil {
+		return true
+	}
+	obj := w.pt.info.Defs[id]
+	if obj == nil {
+		obj = w.pt.info.Uses[id]
+	}
+	if obj == nil || obj.Type() == nil {
+		return true
+	}
+	t := obj.Type()
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return w.core.homes[domain][named.Obj().Pkg().Path()]
+}
+
+// callDomain resolves a call expression to the ownership domain of its
+// result, or "".
+func (w *shardWalker) callDomain(e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	key, _, ok := w.core.graph.ResolveKey(w.fn.Pkg, w.fn.File, w.imports, call)
+	if !ok {
+		return ""
+	}
+	return w.core.calleeDomain(key)
+}
+
+// exprDomain reports the ownership domain an expression's value belongs
+// to: a bound local, or a direct constructor/producer call.
+func (w *shardWalker) exprDomain(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.bound[identObj(w.pt, e)].domain
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.exprDomain(e.X)
+		}
+	case *ast.CallExpr:
+		return w.callDomain(e)
+	}
+	return ""
+}
+
+// escape is one confinement violation found while walking a body.
+type escape struct {
+	pos    token.Pos
+	domain string // "" in parameter-summary mode rows
+	desc   string
+	// callee/chainFrom drive the witness rendering for via-call escapes.
+	callee string
+}
+
+// escapes walks the body and collects every confinement violation of
+// the currently-bound owned values. With summaryFor set, violations of
+// that parameter object are recorded instead (parameter-summary mode).
+func (w *shardWalker) escapes() []escape {
+	var out []escape
+	report := func(pos token.Pos, domain, desc, callee string) {
+		out = append(out, escape{pos: pos, domain: domain, desc: desc, callee: callee})
+	}
+	ast.Inspect(w.fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				d := w.exprDomain(n.Rhs[i])
+				if d == "" {
+					continue
+				}
+				if v := packageLevelVar(w.pt, lhs); v != nil {
+					report(n.Pos(), d, "stored into package-level var "+shortLock(v.Pkg().Path()+"."+v.Name()), "")
+				}
+			}
+		case *ast.SendStmt:
+			if d := w.exprDomain(n.Value); d != "" {
+				report(n.Pos(), d, "sent on a channel", "")
+			}
+		case *ast.GoStmt:
+			w.goEscapes(n, report)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				d := w.exprDomain(res)
+				if d != "" && !matchPackages(w.core.domains[d], w.fn.Pkg.ImportPath) {
+					report(n.Pos(), d, "returned past the domain boundary (package "+w.fn.Pkg.ImportPath+" is outside the holder set)", "")
+				}
+			}
+		case *ast.CallExpr:
+			w.callEscapes(n, report)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].desc < out[j].desc
+	})
+	return out
+}
+
+// goEscapes reports owned values handed to a go statement: spawned-call
+// arguments and closure captures (a binding made outside the literal,
+// referenced inside it).
+func (w *shardWalker) goEscapes(gs *ast.GoStmt, report func(token.Pos, string, string, string)) {
+	for _, arg := range gs.Call.Args {
+		if d := w.exprDomain(arg); d != "" {
+			report(gs.Pos(), d, "passed to a spawned goroutine", "")
+		}
+	}
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	seen := make(map[any]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObj(w.pt, id)
+		b, bound := w.bound[obj]
+		if !bound || seen[obj] || (b.pos >= lit.Pos() && b.pos < lit.End()) {
+			return true
+		}
+		seen[obj] = true
+		report(gs.Pos(), b.domain, "captured by a go statement's closure (via "+id.Name+")", "")
+		return true
+	})
+}
+
+// callEscapes reports owned arguments handed to callees whose summary
+// says that parameter escapes.
+func (w *shardWalker) callEscapes(call *ast.CallExpr, report func(token.Pos, string, string, string)) {
+	key, _, ok := w.core.graph.ResolveKey(w.fn.Pkg, w.fn.File, w.imports, call)
+	if !ok {
+		return
+	}
+	esc := w.core.paramEsc[key]
+	if len(esc) == 0 {
+		return
+	}
+	c, recvExpr := resolveCall(w.pt, w.imports, w.fn.Pkg.ImportPath, call)
+	args := call.Args
+	if c.recv != "" && recvExpr != nil {
+		args = append([]ast.Expr{recvExpr}, args...)
+	}
+	for i, arg := range args {
+		if i >= len(esc) || esc[i] == "" {
+			continue
+		}
+		if d := w.exprDomain(arg); d != "" {
+			report(call.Pos(), d, esc[i], key)
+		}
+	}
+}
+
+// paramEscapes computes the function's parameter-escape summary: for
+// each parameter (receiver first), a description of how the body lets
+// it escape, or "".
+func (w *shardWalker) paramEscapes() []string {
+	if len(w.params) == 0 {
+		return nil
+	}
+	// Rebind: parameters become the owned values under observation.
+	saved := w.bound
+	w.bound = make(map[any]ownedBind, len(w.params))
+	for _, p := range w.params {
+		if p != nil {
+			w.bound[p] = ownedBind{domain: paramDomain, pos: w.fn.Decl.Pos()}
+		}
+	}
+	// Copies of parameters propagate the observation.
+	w.collectBindings()
+	escs := w.escapes()
+	w.bound = saved
+
+	out := make([]string, len(w.params))
+	for _, e := range escs {
+		// Only escapes of the parameters themselves feed the summary;
+		// owned values the body creates are reported at their own site.
+		// Returning a parameter is not an escape the caller did not
+		// intend; only the hard confinement breaks count here.
+		if e.domain != paramDomain || strings.HasPrefix(e.desc, "returned past") {
+			continue
+		}
+		desc := e.desc
+		if e.callee != "" {
+			desc = "handed on to " + FuncDisplay(e.callee)
+		}
+		// Attribute the escape to every parameter still bound at that
+		// description; positional attribution is approximated by
+		// marking all escaping parameters with the first description.
+		for i, p := range w.params {
+			if p != nil && out[i] == "" && w.paramReaches(p, e) {
+				out[i] = desc
+			}
+		}
+	}
+	return out
+}
+
+// paramReaches reports whether the escape's expression chain involves
+// the given parameter object. The walker's per-escape bookkeeping is
+// positional, so this re-checks the site conservatively: any escape in
+// a body marks the parameters that are bound there.
+func (w *shardWalker) paramReaches(p any, e escape) bool {
+	reached := false
+	ast.Inspect(w.fn.Decl.Body, func(n ast.Node) bool {
+		if reached {
+			return false
+		}
+		if n == nil || n.Pos() != e.pos {
+			return true
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && identObj(w.pt, id) == p {
+				reached = true
+				return false
+			}
+			return true
+		})
+		return false
+	})
+	return reached
+}
+
+// ShardEscape reports ownership-domain confinement violations — the
+// escape half of the shardsafe family.
+type ShardEscape struct{ core *shardSafe }
+
+// Name implements Analyzer.
+func (a *ShardEscape) Name() string { return "shardescape" }
+
+// Doc implements Documented.
+func (a *ShardEscape) Doc() string {
+	return "values from //xlf:owned constructors must stay confined to their ownership domain: no package-level stores, go captures, channel sends, or returns past the holder set"
+}
+
+// Prepare implements ModuleAnalyzer.
+func (a *ShardEscape) Prepare(pkgs []*Package) { a.core.prepare(pkgs) }
+
+// Check implements Analyzer.
+func (a *ShardEscape) Check(pkg *Package) []Finding {
+	if !a.core.prepared {
+		a.core.prepare([]*Package{pkg})
+	}
+	out := append([]Finding(nil), a.core.bad[pkg]...)
+	allowed := make(map[*File]map[int]bool)
+	for _, key := range a.core.graph.Keys() {
+		fn := a.core.graph.Func(key)
+		if fn.Pkg != pkg || fn.File.Test {
+			continue
+		}
+		w := a.core.newWalker(fn)
+		if len(w.bound) == 0 {
+			continue
+		}
+		if allowed[fn.File] == nil {
+			allowed[fn.File] = allowedLines(pkg.Fset, fn.File.AST, AllowShardSafeMarker)
+		}
+		waived := allowed[fn.File]
+		for _, e := range w.escapes() {
+			if waived[pkg.Fset.Position(e.pos).Line] {
+				continue
+			}
+			if e.callee != "" {
+				out = append(out, pkg.finding(a.Name(), e.pos,
+					"call to %s lets the %s-owned argument escape (%s; %s); keep owned values inside their domain (or annotate //%s)",
+					FuncDisplay(e.callee), e.domain, e.desc, a.witness(e.callee), AllowShardSafeMarker))
+				continue
+			}
+			out = append(out, pkg.finding(a.Name(), e.pos,
+				"%s-owned value escapes its domain: %s; keep owned values inside their domain (or annotate //%s)",
+				e.domain, e.desc, AllowShardSafeMarker))
+		}
+	}
+	return out
+}
+
+// witness renders the chain from a leaking callee to the function whose
+// body performs the escape.
+func (a *ShardEscape) witness(from string) string {
+	chain := a.core.graph.Chain(from, func(k string) bool { return a.core.paramDirect[k] }, followShardSafe)
+	if chain == nil {
+		return "via " + FuncDisplay(from)
+	}
+	return "via " + displayChain(chain)
+}
+
+// ShardHandle reports generation-checked tokens crossing goroutine,
+// channel or package-level boundaries.
+type ShardHandle struct{ core *shardSafe }
+
+// Name implements Analyzer.
+func (a *ShardHandle) Name() string { return "shardhandle" }
+
+// Doc implements Documented.
+func (a *ShardHandle) Doc() string {
+	return "generation-checked tokens (sim.Handle) must not cross goroutine or domain boundaries where a stale-generation no-op masks a lost cancellation"
+}
+
+// Prepare implements ModuleAnalyzer.
+func (a *ShardHandle) Prepare(pkgs []*Package) { a.core.prepare(pkgs) }
+
+// tokenOf reports the configured token type an expression carries, or
+// the zero TokenType. Pointers to tokens count: the indirection does
+// not change which slot generation the value is checked against.
+func (a *ShardHandle) tokenOf(pt *pkgTypes, e ast.Expr) (TokenType, bool) {
+	if pt == nil {
+		return TokenType{}, false
+	}
+	tv, ok := pt.info.Types[e]
+	if !ok || tv.Type == nil {
+		return TokenType{}, false
+	}
+	t := tv.Type
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return TokenType{}, false
+	}
+	for _, tok := range a.core.tokens {
+		if named.Obj().Name() == tok.Name && named.Obj().Pkg().Path() == tok.Pkg {
+			return tok, true
+		}
+	}
+	return TokenType{}, false
+}
+
+// Check implements Analyzer.
+func (a *ShardHandle) Check(pkg *Package) []Finding {
+	if !a.core.prepared {
+		a.core.prepare([]*Package{pkg})
+	}
+	pt := a.core.graph.oracle.typesOf(pkg)
+	if pt == nil || len(a.core.tokens) == 0 {
+		return nil
+	}
+	var out []Finding
+	for fi := range pkg.Files {
+		file := &pkg.Files[fi]
+		if file.Test {
+			continue
+		}
+		allowed := allowedLines(pkg.Fset, file.AST, AllowShardSafeMarker)
+		report := func(pos token.Pos, tok TokenType, how string) {
+			if allowed[pkg.Fset.Position(pos).Line] {
+				return
+			}
+			out = append(out, pkg.finding(a.Name(), pos,
+				"%s %s; a stale-generation no-op would mask the lost cancellation — transfer intent, not the token (or annotate //%s)",
+				tok.display(), how, AllowShardSafeMarker))
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if tok, ok := a.tokenOf(pt, n.Value); ok {
+					report(n.Pos(), tok, "sent on a channel")
+				}
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					if tok, ok := a.tokenOf(pt, arg); ok {
+						report(n.Pos(), tok, "passed to a spawned goroutine")
+					}
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					a.captures(pt, lit, func(tok TokenType, name string) {
+						report(n.Pos(), tok, "captured by a go statement's closure (via "+name+")")
+					})
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					tok, ok := a.tokenOf(pt, n.Rhs[i])
+					if !ok {
+						continue
+					}
+					if v := packageLevelVar(pt, lhs); v != nil {
+						report(n.Pos(), tok, "stored into package-level var "+shortLock(v.Pkg().Path()+"."+v.Name()))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// captures invokes fn for each token-typed variable declared outside
+// the literal but referenced inside it.
+func (a *ShardHandle) captures(pt *pkgTypes, lit *ast.FuncLit, fn func(TokenType, string)) {
+	seen := make(map[any]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, isVar := pt.info.Uses[id].(*types.Var)
+		if !isVar || seen[obj] || obj.Pos() == token.NoPos {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		if tok, ok := a.tokenOf(pt, id); ok {
+			seen[obj] = true
+			fn(tok, id.Name)
+		}
+		return true
+	})
+}
+
+// ShardPhase enforces the //xlf:phase barrier discipline.
+type ShardPhase struct{ core *shardSafe }
+
+// Name implements Analyzer.
+func (a *ShardPhase) Name() string { return "shardphase" }
+
+// Doc implements Documented.
+func (a *ShardPhase) Doc() string {
+	return "//xlf:phase-annotated functions must not reach functions of a different phase; only barrier-phase (window) code may cross"
+}
+
+// Prepare implements ModuleAnalyzer.
+func (a *ShardPhase) Prepare(pkgs []*Package) { a.core.prepare(pkgs) }
+
+// Check implements Analyzer.
+func (a *ShardPhase) Check(pkg *Package) []Finding {
+	if !a.core.prepared {
+		a.core.prepare([]*Package{pkg})
+	}
+	var out []Finding
+	allowed := make(map[*File]map[int]bool)
+	for _, key := range a.core.graph.Keys() {
+		fn := a.core.graph.Func(key)
+		phase := a.core.phase[key]
+		if fn.Pkg != pkg || fn.File.Test || phase == "" || phase == BarrierPhase {
+			continue
+		}
+		if allowed[fn.File] == nil {
+			allowed[fn.File] = allowedLines(pkg.Fset, fn.File.AST, AllowShardSafeMarker)
+		}
+		waived := allowed[fn.File]
+		reported := make(map[token.Pos]bool)
+		for _, e := range fn.Edges {
+			if !followShardSafe(e) || reported[e.Pos] || waived[pkg.Fset.Position(e.Pos).Line] {
+				continue
+			}
+			if target := a.core.phase[e.Callee]; target != "" {
+				if target != phase {
+					reported[e.Pos] = true
+					out = append(out, pkg.finding(a.Name(), e.Pos,
+						"phase(%s) function %s calls phase(%s) %s; cross-phase access is only legal from barrier-phase (%s) code (or annotate //%s)",
+						phase, fn.Decl.Name.Name, target, FuncDisplay(e.Callee), BarrierPhase, AllowShardSafeMarker))
+				}
+				continue
+			}
+			for _, reach := range a.core.phaseReach[e.Callee] {
+				target := a.core.phase[reach]
+				if target == phase {
+					continue
+				}
+				reported[e.Pos] = true
+				out = append(out, pkg.finding(a.Name(), e.Pos,
+					"phase(%s) function %s reaches phase(%s) %s (%s); cross-phase access is only legal from barrier-phase (%s) code (or annotate //%s)",
+					phase, fn.Decl.Name.Name, target, FuncDisplay(reach), a.witness(e.Callee, reach), BarrierPhase, AllowShardSafeMarker))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// witness renders the chain from the boundary callee to the
+// conflicting phase-annotated function.
+func (a *ShardPhase) witness(from, target string) string {
+	chain := a.core.graph.Chain(from, func(k string) bool { return k == target }, func(e CallEdge) bool {
+		return followShardSafe(e) && (a.core.phase[e.Callee] == "" || e.Callee == target)
+	})
+	if chain == nil {
+		return "via " + FuncDisplay(from)
+	}
+	return "via " + displayChain(chain)
+}
+
+var (
+	_ ModuleAnalyzer = (*ShardEscape)(nil)
+	_ Documented     = (*ShardEscape)(nil)
+	_ ModuleAnalyzer = (*ShardHandle)(nil)
+	_ Documented     = (*ShardHandle)(nil)
+	_ ModuleAnalyzer = (*ShardPhase)(nil)
+	_ Documented     = (*ShardPhase)(nil)
+)

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// fixtureShardSafeSuite configures the family against the fixture
+// module: one domain whose holder set is sim+worker, and the fixture
+// Handle as the generation token.
+func fixtureShardSafeSuite() []Analyzer {
+	domains := map[string][]string{
+		"sim": {fixtureModule + "/internal/sim", fixtureModule + "/internal/worker"},
+	}
+	tokens := []TokenType{{Pkg: fixtureModule + "/internal/sim", Name: "Handle"}}
+	return NewShardSafeSuite(domains, tokens, nil)
+}
+
+func TestShardSafeFixture(t *testing.T) {
+	checkFixture(t, "shardsafe", fixtureShardSafeSuite()...)
+}
+
+func TestDirectiveArg(t *testing.T) {
+	cases := []struct {
+		doc string
+		arg string
+		ok  bool
+	}{
+		{"//xlf:owned(sim)", "sim", true},
+		{"//xlf:owned(win-2_a)", "win-2_a", true},
+		{"//xlf:owned", "", true},       // present but malformed
+		{"//xlf:owned()", "", true},     // empty argument
+		{"//xlf:owned(SIM)", "", true},  // upper case is out of grammar
+		{"//xlf:owned(sim", "", true},   // unclosed
+		{"// plain comment", "", false}, // absent
+		{"//xlf:hotpath", "", false},    // different marker
+	}
+	for _, tc := range cases {
+		fd := &ast.FuncDecl{
+			Doc:  &ast.CommentGroup{List: []*ast.Comment{{Text: tc.doc}}},
+			Name: ast.NewIdent("f"),
+		}
+		arg, ok := directiveArg(fd, OwnedMarker)
+		if arg != tc.arg || ok != tc.ok {
+			t.Errorf("directiveArg(%q) = (%q, %v), want (%q, %v)", tc.doc, arg, ok, tc.arg, tc.ok)
+		}
+	}
+	if _, ok := directiveArg(&ast.FuncDecl{Name: ast.NewIdent("f")}, OwnedMarker); ok {
+		t.Error("directiveArg with nil doc reported a directive")
+	}
+}
+
+// TestShardSafeDeterministic pins that two runs over the same fixture
+// produce byte-identical findings in identical order.
+func TestShardSafeDeterministic(t *testing.T) {
+	render := func() string {
+		pkgs := fixturePackages(t, "shardsafe")
+		var sb strings.Builder
+		for _, f := range Run(pkgs, fixtureShardSafeSuite()) {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("shardsafe findings differ across runs:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("shardsafe fixture produced no findings")
+	}
+}
+
+// FuzzShardSafe feeds arbitrary source through the whole family —
+// directive parsing, producer and parameter-escape fixed points, phase
+// reachability and all three checkers — asserting none of them panic.
+// scripts/check.sh runs this as a smoke target.
+func FuzzShardSafe(f *testing.F) {
+	f.Add("package p\n//xlf:owned(d)\nfunc New() int { return 0 }\nfunc b() { _ = New() }")
+	f.Add("package p\n//xlf:owned\nfunc New() int { return 0 }")
+	f.Add("package p\nvar g int\nfunc leak(x int) { g = x }\nfunc b() { leak(0) }")
+	f.Add("package p\n//xlf:phase(a)\nfunc a() { b() }\n//xlf:phase(c)\nfunc b() {}")
+	f.Add("package p\nfunc a() { ch := make(chan int); go func() { ch <- 1 }() }")
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		pkg := &Package{
+			ImportPath: "fuzz",
+			Fset:       fset,
+			Files:      []File{{Name: "fuzz.go", AST: file}},
+		}
+		domains := map[string][]string{"d": {"fuzz"}}
+		tokens := []TokenType{{Pkg: "fuzz", Name: "H"}}
+		_ = Run([]*Package{pkg}, NewShardSafeSuite(domains, tokens, nil))
+	})
+}

@@ -133,3 +133,58 @@ func chanEscapes() {
 	go func() { ch <- 1 }()
 	consume(ch)
 }
+
+// --- go-launched named functions and method values hide the loop
+// shape behind a name; resolution must still find it.
+
+type pump struct{}
+
+func (p *pump) run() {
+	for {
+		work()
+	}
+}
+
+func (p *pump) drain(in chan int) {
+	for {
+		<-in
+	}
+}
+
+func (p *pump) idle(in chan int) {
+	for {
+		<-in
+	}
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func leakMethod(p *pump) {
+	go p.run() // want "goroutine pump.run loops forever with no shutdown path"
+}
+
+func leakMethodValue(p *pump) {
+	f := p.run
+	go f() // want "goroutine pump.run loops forever with no shutdown path"
+}
+
+func leakNamed() {
+	go spin() // want "goroutine spin loops forever with no shutdown path"
+}
+
+// okMethodRecv parks on a receive each round: quiet.
+func okMethodRecv(p *pump, in chan int) {
+	go p.drain(in)
+}
+
+// okReassigned is ambiguous — the variable holds two different method
+// values — so resolution stays quiet.
+func okReassigned(p *pump, in chan int) {
+	f := p.drain
+	f = p.idle
+	go f(in)
+}

@@ -1,0 +1,21 @@
+// Package outside is not in the sim domain's holder set: obtaining a
+// kernel is fine, passing one out of the domain is not.
+package outside
+
+import (
+	"example.com/m/internal/sim"
+	"example.com/m/internal/worker"
+)
+
+// Acquire pulls a kernel past the domain boundary.
+func Acquire(seed int64) *sim.Kernel {
+	k := worker.Fresh(seed)
+	return k // want "returned past the domain boundary .package example.com/m/internal/outside is outside the holder set."
+}
+
+// Borrow may use a kernel locally without returning it.
+func Borrow(seed int64) int64 {
+	k := worker.Fresh(seed)
+	k.Step()
+	return seed
+}

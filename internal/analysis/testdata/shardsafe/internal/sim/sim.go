@@ -1,0 +1,65 @@
+// Package sim is the fixture analog of the kernel package: it declares
+// the owned constructor, the generation token and the phase roster.
+package sim
+
+// Kernel is per-shard state.
+type Kernel struct{ now int64 }
+
+// Handle is a generation-checked scheduling token.
+type Handle struct{ slot, gen uint32 }
+
+// NewKernel builds per-shard kernel state.
+//
+//xlf:owned(sim)
+func NewKernel(seed int64) *Kernel { return &Kernel{now: seed} }
+
+// NewBadKernel carries a directive with no domain argument.
+//
+//xlf:owned
+func NewBadKernel() *Kernel { return &Kernel{} } // want "malformed //xlf:owned directive"
+
+// NewWarpKernel names a domain nobody declared.
+//
+//xlf:owned(warp)
+func NewWarpKernel() *Kernel { return &Kernel{} } // want "unknown ownership domain .warp."
+
+// Schedule issues a generation token.
+func (k *Kernel) Schedule(at int64) Handle { return Handle{slot: 1, gen: 1} }
+
+// Step drains one tick of shard-local dispatch.
+//
+//xlf:phase(shard)
+func (k *Kernel) Step() { k.now++ }
+
+// Drain stays inside its own phase: no finding.
+//
+//xlf:phase(shard)
+func Drain(k *Kernel) { k.Step() }
+
+// Exchange swaps cross-shard traffic at the barrier; window-phase code
+// may call into any phase.
+//
+//xlf:phase(window)
+func Exchange(ks []*Kernel) {
+	for _, k := range ks {
+		k.Step()
+	}
+}
+
+// Flush calls an annotated function of another phase directly.
+//
+//xlf:phase(ingest)
+func Flush(k *Kernel) {
+	k.Step() // want "phase.ingest. function Flush calls phase.shard."
+}
+
+// Ingest reaches another phase through an unannotated helper, so the
+// report carries a witness chain.
+//
+//xlf:phase(ingest)
+func Ingest(k *Kernel) {
+	hop(k) // want "phase.ingest. function Ingest reaches phase.shard..*via sim.hop → sim..Kernel..Step"
+}
+
+// hop is the unannotated middle of the chain.
+func hop(k *Kernel) { k.Step() }

@@ -1,0 +1,82 @@
+// Package worker sits inside the sim ownership domain's holder set: it
+// may build, hold and return kernels, but never let one escape.
+package worker
+
+import "example.com/m/internal/sim"
+
+var cached *sim.Kernel
+
+var sink *sim.Kernel
+
+var last sim.Handle
+
+// Boot leaks a fresh kernel into package-level state.
+func Boot(seed int64) {
+	k := sim.NewKernel(seed)
+	cached = k // want "sim-owned value escapes its domain: stored into package-level var worker.cached"
+}
+
+// Keep is waived: the marker suppresses the finding on this line.
+func Keep(seed int64) {
+	k := sim.NewKernel(seed)
+	cached = k //xlf:allow-shardsafe: fixture waiver
+}
+
+// Spawn hands an owned kernel to a goroutine by closure capture.
+func Spawn(seed int64) {
+	k := sim.NewKernel(seed)
+	go func() { // want "sim-owned value escapes its domain: captured by a go statement.s closure .via k."
+		k.Step()
+	}()
+}
+
+// Feed sends an owned kernel on a channel.
+func Feed(ch chan *sim.Kernel, seed int64) {
+	k := sim.NewKernel(seed)
+	ch <- k // want "sim-owned value escapes its domain: sent on a channel"
+}
+
+// Fresh forwards the constructor from inside the holder set: a
+// producer, not an escape.
+func Fresh(seed int64) *sim.Kernel { return sim.NewKernel(seed) }
+
+// stash leaks its parameter into package state; the finding lands on
+// its callers.
+func stash(k *sim.Kernel) {
+	sink = k
+}
+
+// relay forwards its parameter to the leaking helper.
+func relay(k *sim.Kernel) { stash(k) }
+
+// Hand gives an owned kernel straight to the leaking helper.
+func Hand(seed int64) {
+	k := sim.NewKernel(seed)
+	stash(k) // want "call to worker.stash lets the sim-owned argument escape .stored into package-level var worker.sink; via worker.stash."
+}
+
+// Hand2 leaks through two levels; the witness chain names the path.
+func Hand2(seed int64) {
+	k := sim.NewKernel(seed)
+	relay(k) // want "call to worker.relay lets the sim-owned argument escape .handed on to worker.stash; via worker.relay → worker.stash."
+}
+
+// Post sends a generation token across a channel.
+func Post(ch chan sim.Handle, k *sim.Kernel) {
+	h := k.Schedule(5)
+	ch <- h // want "sim.Handle sent on a channel"
+}
+
+// Detach captures a token in a spawned goroutine.
+func Detach(k *sim.Kernel) {
+	h := k.Schedule(5)
+	go func() { // want "sim.Handle captured by a go statement.s closure .via h."
+		_ = h
+	}()
+}
+
+// Save parks a token in package-level state.
+func Save(k *sim.Kernel) {
+	h := k.Schedule(9)
+	last = h // want "sim.Handle stored into package-level var worker.last"
+}

@@ -126,6 +126,54 @@ var XLFShardStatePackages = []string{
 	"xlf/internal/sim",
 }
 
+// XLFOwnedDomains declares the per-run ownership domains the shardsafe
+// layer confines (DESIGN.md §14): each domain maps to the packages
+// allowed to hold and return its values (exact path or "prefix/...").
+// A value built by an //xlf:owned(domain) constructor must never be
+// stored in package-level state, captured by a go statement, sent on a
+// channel, or returned from a package outside this set — once ROADMAP
+// item 2 shards the kernel, any such escape is a cross-shard race and a
+// replay divergence.
+var XLFOwnedDomains = map[string][]string{
+	// Per-shard kernel state: the timer wheel, event slab and every
+	// RNG seeded from it.
+	"sim": {
+		"xlf/internal/sim", "xlf/internal/netsim", "xlf/internal/shaping",
+		"xlf/internal/attack", "xlf/internal/testbed", "xlf/internal/exp",
+		"xlf/examples/...",
+	},
+	// Per-run network topology: gateways, links, in-flight packets.
+	"net": {
+		"xlf", "xlf/internal/netsim", "xlf/internal/dnsp",
+		"xlf/internal/ids", "xlf/internal/shaping", "xlf/internal/behavior",
+		"xlf/internal/core", "xlf/internal/attack", "xlf/internal/testbed",
+		"xlf/internal/exp", "xlf/examples/...",
+	},
+	// Per-run observability state: metric registries, tracers, rollups,
+	// flight recorders, detection trackers. Every layer may hold them
+	// (obs is the universal substrate); the escape rules still forbid
+	// globals, go captures and channel transfers.
+	"obs": {
+		"xlf", "xlf/internal/...", "xlf/cmd/...", "xlf/examples/...",
+		"xlf/scripts/...",
+	},
+	// Per-experiment Env trees (exp.Env.Fork): seeded RNG + clock +
+	// telemetry, forked sequentially before any worker runs.
+	"exp": {"xlf/internal/exp", "xlf/cmd/..."},
+	// Per-home / per-city testbed state.
+	"testbed": {
+		"xlf/internal/testbed", "xlf/internal/exp", "xlf/examples/...",
+	},
+}
+
+// XLFGenerationTokens are the generation-checked token types the
+// shardhandle rule confines: a stale token is a silent no-op by design,
+// so letting one cross a goroutine, channel or package-level boundary
+// converts a lost cancellation into an undetectable bug.
+var XLFGenerationTokens = []TokenType{
+	{Pkg: "xlf/internal/sim", Name: "Handle"},
+}
+
 // XLFMapOrderSinks are the calls whose argument order is observable
 // output for the maporder rule: trace emits, report-table rows and
 // Core signal ingestion — the surfaces the replay hash and the paper's
@@ -296,5 +344,7 @@ func XLFAnalyzers() []Analyzer {
 		NewGlobalMut(XLFShardStatePackages, g),
 		NewMapOrder(XLFDeterministicPackages, XLFMapOrderSinks, g),
 	}
+	// Ownership & shard-isolation layer (DESIGN.md §14).
+	out = append(out, NewShardSafeSuite(XLFOwnedDomains, XLFGenerationTokens, g)...)
 	return append(out, NewTaintSuite(g, XLFPlaintextEscape, XLFSecretLeak)...)
 }

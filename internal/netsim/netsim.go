@@ -139,7 +139,11 @@ type Network struct {
 	bytes     uint64
 }
 
-// New creates an empty network on a kernel.
+// New creates an empty network on a kernel. The network (nodes,
+// links, in-flight packets) is per-run state owned by the net domain
+// (DESIGN.md §14).
+//
+//xlf:owned(net)
 func New(k *sim.Kernel) *Network {
 	n := &Network{
 		kernel: k,

@@ -33,16 +33,23 @@ go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime=5s ./internal/xauth
 go test -run='^$' -fuzz='^FuzzCFGBuild$' -fuzztime=5s ./internal/analysis
 go test -run='^$' -fuzz='^FuzzLockOrderGraph$' -fuzztime=5s ./internal/analysis
 go test -run='^$' -fuzz='^FuzzCallGraph$' -fuzztime=5s ./internal/analysis
+go test -run='^$' -fuzz='^FuzzShardSafe$' -fuzztime=5s ./internal/analysis
 go test -run='^$' -fuzz='^FuzzKernelSchedule$' -fuzztime=5s ./internal/sim
 
-echo '>> xlf-vet ./... (self-gate, baselined)'
-go run ./cmd/xlf-vet -baseline vet-baseline.json ./...
+echo '>> xlf-vet ./... (self-gate, baselined, strict on stale waivers)'
+go run ./cmd/xlf-vet -baseline vet-baseline.json -strict-baseline ./...
 
 # The reproduction-contract layer (make vet-determinism) again under the
 # race detector: the shared call graph is built once and read by several
 # analyzers across the worker pool.
 echo '>> xlf-vet determinism layer (race detector)'
 go run -race ./cmd/xlf-vet -only determinism,detflow,globalmut,maporder,hotpathalloc -baseline vet-baseline.json ./...
+
+# The ownership/shard-isolation layer (make vet-shardsafe) again under
+# the race detector: the escape and phase fixed points are computed once
+# in Prepare and read concurrently by the worker pool.
+echo '>> xlf-vet shardsafe layer (race detector)'
+go run -race ./cmd/xlf-vet -only shardsafe -baseline vet-baseline.json ./...
 
 # Driver determinism: the SARIF report must be byte-identical at
 # -parallel 1 and -parallel 8, with a cold and then a warm result cache,
@@ -57,6 +64,24 @@ go run -race ./cmd/xlf-vet -sarif -parallel 8 -cache-dir "$vetdir/cache" ./... >
 cmp "$vetdir/serial.sarif" "$vetdir/parallel.sarif"
 cmp "$vetdir/serial.sarif" "$vetdir/cold.sarif"
 cmp "$vetdir/serial.sarif" "$vetdir/warm.sarif"
+
+# The same determinism bar for the shardsafe family on its own: the
+# interprocedural escape/phase summaries must not depend on worker
+# interleaving or on whether results came from the cache.
+echo '>> xlf-vet shardsafe determinism (parallel 8 vs sequential, cold/warm cache, race detector)'
+go run -race ./cmd/xlf-vet -only shardsafe -sarif -parallel 1 ./... >"$vetdir/ss-serial.sarif" || true
+go run -race ./cmd/xlf-vet -only shardsafe -sarif -parallel 8 ./... >"$vetdir/ss-parallel.sarif" || true
+go run -race ./cmd/xlf-vet -only shardsafe -sarif -parallel 8 -cache-dir "$vetdir/ss-cache" ./... >"$vetdir/ss-cold.sarif" || true
+go run -race ./cmd/xlf-vet -only shardsafe -sarif -parallel 8 -cache-dir "$vetdir/ss-cache" ./... >"$vetdir/ss-warm.sarif" || true
+cmp "$vetdir/ss-serial.sarif" "$vetdir/ss-parallel.sarif"
+cmp "$vetdir/ss-serial.sarif" "$vetdir/ss-cold.sarif"
+cmp "$vetdir/ss-serial.sarif" "$vetdir/ss-warm.sarif"
+
+# Blocking: warm-cache full-repo vet wall time must stay within 1.25x of
+# the committed bench/seed/VET.json budget (the guard primes its own
+# cache, so only the warm path is timed).
+echo '>> xlf-vet warm-cache wall-time budget'
+XLF_VET_WALL_GUARD=1 go test -run='^TestVetWarmWallBudget$' -v ./cmd/xlf-vet
 
 # Scheduler determinism: the full report rendered at -parallel 8 must be
 # byte-identical to the sequential run under the step clock, with the
@@ -122,5 +147,11 @@ go test -run='^$' -bench='^BenchmarkCoreIngest(Traced)?$' -benchtime=1s . ||
 echo '>> kernel hot-path benchmarks'
 go test -run='^$' -bench='^BenchmarkKernelDispatch$' -benchmem -benchtime=1s ./internal/sim
 go test -run='^$' -bench='^BenchmarkNetsimSend$' -benchmem -benchtime=1s ./internal/netsim
+
+# Informational: cost of the shardsafe family over the real tree (load,
+# type-check, call graph, escape/phase fixed points, check). Trend only;
+# the blocking budget is the warm-cache wall guard above.
+echo '>> shardsafe analyzer benchmark'
+go test -run='^$' -bench='^BenchmarkVetShardSafe$' -benchtime=1x ./cmd/xlf-vet
 
 echo 'all checks passed'
